@@ -1,0 +1,82 @@
+"""Ablation: context-sensitivity policy cost vs. precision (Section 7.1).
+
+Interprocedural demanded analysis builds one DAIG per (procedure, context);
+more context sensitivity means more DAIGs (more memory, more transfers) in
+exchange for precision.  This ablation quantifies that trade-off over the
+array suite: number of DAIGs constructed, abstract transfers evaluated,
+wall-clock time, and accesses verified, for each policy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import ArraySafetyClient
+from repro.interproc import policy_by_name
+from repro.lang import build_program_cfgs
+from repro.lang.programs import ARRAY_PROGRAMS, array_program
+
+POLICIES = ("insensitive", "1-call-site", "2-call-site")
+
+
+def _run_policy(policy_name):
+    verified = total = daigs = transfers = 0
+    started = time.perf_counter()
+    for name in sorted(ARRAY_PROGRAMS):
+        cfgs = build_program_cfgs(array_program(name))
+        client = ArraySafetyClient(cfgs, policy_by_name(policy_name))
+        report = client.check(name)
+        verified += report.verified
+        total += report.total
+        stats = client.engine.total_stats()
+        daigs += stats["daigs"]
+        transfers += stats["transfers"]
+    return {
+        "verified": verified,
+        "total": total,
+        "daigs": daigs,
+        "transfers": transfers,
+        "seconds": time.perf_counter() - started,
+    }
+
+
+@pytest.fixture(scope="module")
+def context_results():
+    return {policy: _run_policy(policy) for policy in POLICIES}
+
+
+def test_ablation_context_sensitivity(context_results, benchmark):
+    benchmark(lambda: {policy: row["verified"] for policy, row in context_results.items()})
+    print("\n=== Ablation: context policy cost vs. precision (interval) ===")
+    print("%-16s %10s %8s %11s %9s" % ("policy", "verified", "daigs",
+                                        "transfers", "time(s)"))
+    for policy in POLICIES:
+        row = context_results[policy]
+        print("%-16s %5d/%-5d %7d %11d %9.2f" % (
+            policy, row["verified"], row["total"], row["daigs"],
+            row["transfers"], row["seconds"]))
+
+    insensitive = context_results["insensitive"]
+    one_site = context_results["1-call-site"]
+    two_site = context_results["2-call-site"]
+    # Precision rises with sensitivity...
+    assert insensitive["verified"] < one_site["verified"] < two_site["verified"]
+    # ...and so does the number of per-context DAIGs (the cost axis).
+    assert insensitive["daigs"] <= one_site["daigs"] <= two_site["daigs"]
+    assert two_site["daigs"] > insensitive["daigs"]
+
+
+def test_ablation_context_single_program(benchmark):
+    """pytest-benchmark: 2-call-site analysis of the deepest-chain program."""
+    cfgs = build_program_cfgs(array_program("peek_ends"))
+
+    def analyze():
+        client = ArraySafetyClient(
+            {name: cfg.copy() for name, cfg in cfgs.items()},
+            policy_by_name("2-call-site"))
+        return client.check("peek_ends")
+
+    report = benchmark(analyze)
+    assert report.verified == report.total

@@ -1,0 +1,78 @@
+"""Ablation: the auxiliary memo table M (Section 2.2 / Fig. 8).
+
+The DAIG alone already provides location-based reuse; the auxiliary memo
+table adds location-*independent* reuse (Q-Match), which pays off when edits
+move code around or when the same abstract computation recurs at different
+locations.  This ablation runs the combined incremental & demand-driven
+configuration with the memo table enabled and disabled and reports the
+latency difference and hit rates.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.daig import DaigEngine, MemoTable
+from repro.domains import OctagonDomain
+from repro.lang import ast as A
+from repro.lang.cfg import Cfg
+from repro.workload import generate_trials, summarize
+
+
+def _run_with_memo(steps, enabled: bool):
+    cfg = Cfg("main")
+    cfg.add_edge(cfg.entry, A.SkipStmt(), cfg.exit)
+    memo = MemoTable(enabled=enabled)
+    engine = DaigEngine(cfg, OctagonDomain(), memo=memo)
+    latencies = []
+    for step in steps:
+        started = time.perf_counter()
+        step.edit.apply_to_engine(engine)
+        for loc in step.query_locations:
+            engine.query_location(loc)
+        latencies.append(time.perf_counter() - started)
+    return latencies, memo, engine
+
+
+@pytest.fixture(scope="module")
+def memo_ablation(workload_scale):
+    edits, _trials = workload_scale
+    steps = generate_trials(edits=edits, trials=1, base_seed=17)[0]
+    with_memo = _run_with_memo(steps, enabled=True)
+    without_memo = _run_with_memo(steps, enabled=False)
+    return with_memo, without_memo
+
+
+def test_ablation_memo_table(memo_ablation, benchmark):
+    benchmark(lambda: summarize(memo_ablation[0][0]))
+    (memo_latencies, memo, memo_engine), (plain_latencies, _plain, plain_engine) = \
+        memo_ablation
+    print("\n=== Ablation: auxiliary memo table on/off (incr+demand, octagon) ===")
+    print("with memo    :", {k: round(v, 4) for k, v in summarize(memo_latencies).items()})
+    print("without memo :", {k: round(v, 4) for k, v in summarize(plain_latencies).items()})
+    print("memo stats   :", memo.stats())
+    print("transfers    : with=%d without=%d"
+          % (memo_engine.stats.transfers, plain_engine.stats.transfers))
+
+    # The memo table can only avoid work: never more transfer evaluations.
+    assert memo_engine.stats.transfers <= plain_engine.stats.transfers
+    assert memo.hits > 0
+    # Both runs answered the same queries over the same program history.
+    assert memo_engine.cfg.size() == plain_engine.cfg.size()
+
+
+def test_ablation_memo_query_latency(benchmark):
+    """pytest-benchmark: a fresh engine answering one query with a warm memo."""
+    steps = generate_trials(edits=40, trials=1, base_seed=23)[0]
+    latencies, memo, engine = _run_with_memo(steps, enabled=True)
+    cfg = engine.cfg
+
+    def fresh_engine_with_warm_memo():
+        # A new DAIG (e.g. after dropping all cells to save memory) still
+        # benefits from the shared memo table.
+        fresh = DaigEngine(cfg.copy(), OctagonDomain(), memo=memo)
+        return fresh.query_location(cfg.exit)
+
+    benchmark(fresh_engine_with_warm_memo)

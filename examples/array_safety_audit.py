@@ -1,0 +1,53 @@
+"""Array-bounds audit under different context-sensitivity policies.
+
+Reproduces the Section 7.2 interval-analysis experiment: the Buckets.js-style
+array-manipulating programs are analyzed with the demanded, interprocedural
+interval analysis under three context policies (context-insensitive,
+1-call-site, 2-call-site), and the number of array accesses proven in-bounds
+is reported for each.  The paper reports 85/85 verified with 2-call-site
+sensitivity, 71/74 with 1-call-site, and only 4/18 context-insensitively;
+the qualitative staircase (more context sensitivity verifies strictly more
+accesses) is what this audit reproduces.
+
+Run it with ``python examples/array_safety_audit.py``.
+"""
+
+from repro.analysis import ArraySafetyClient
+from repro.interproc import policy_by_name
+from repro.lang import build_program_cfgs
+from repro.lang.programs import ARRAY_PROGRAMS, array_program
+
+POLICIES = ("insensitive", "1-call-site", "2-call-site")
+
+
+def audit() -> None:
+    parsed = {name: build_program_cfgs(array_program(name))
+              for name in sorted(ARRAY_PROGRAMS)}
+    print("Auditing %d array-manipulating programs\n" % len(parsed))
+    totals = {}
+    for policy_name in POLICIES:
+        verified = 0
+        total = 0
+        per_program = []
+        for name, cfgs in parsed.items():
+            client = ArraySafetyClient(
+                {k: cfg.copy() for k, cfg in cfgs.items()},
+                policy_by_name(policy_name))
+            report = client.check(name)
+            verified += report.verified
+            total += report.total
+            per_program.append((name, report.verified, report.total))
+        totals[policy_name] = (verified, total)
+        print("%-16s verified %3d / %3d array accesses" % (policy_name, verified, total))
+        unproven = [(n, v, t) for n, v, t in per_program if v < t]
+        if unproven:
+            for name, v, t in unproven:
+                print("    %-14s %d/%d" % (name, v, t))
+    print("\nSummary (paper: 4/18 insensitive, 71/74 @1-cs, 85/85 @2-cs):")
+    for policy_name in POLICIES:
+        verified, total = totals[policy_name]
+        print("  %-16s %d/%d" % (policy_name, verified, total))
+
+
+if __name__ == "__main__":
+    audit()

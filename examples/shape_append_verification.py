@@ -1,0 +1,76 @@
+"""Verifying the paper's running example (Fig. 1) with the shape domain.
+
+The ``append`` procedure appends two singly-linked lists.  Given well-formed
+(null-terminated, acyclic) inputs it must return a well-formed list and
+never dereference null.  This example reproduces the Section 7.2 shape-
+analysis experiment:
+
+* the separation-logic shape domain (``lseg`` + points-to + pure
+  constraints) is plugged into the DAIG engine,
+* the loop's abstract fixed point is computed by *demanded unrolling* —
+  and, as the paper reports, converges after a single unrolling,
+* the exit state proves both memory safety and well-formedness of the
+  returned list,
+* an edit that breaks the invariant (dropping the null test) is then applied
+  to show the verification failing, and reverted.
+
+Run it with ``python examples/shape_append_verification.py``.
+"""
+
+from repro.analysis import ShapeVerificationClient
+from repro.daig import DaigEngine
+from repro.domains import ShapeDomain
+from repro.lang import ast as A
+from repro.lang import build_cfg
+from repro.lang.programs import APPEND_SOURCE, LIST_PROGRAMS, append_program
+
+
+def verify_append() -> None:
+    program = append_program()
+    cfg = build_cfg(program.procedure("append"))
+    domain = ShapeDomain()
+    engine = DaigEngine(cfg, domain)
+
+    print("Analyzing `append` (Fig. 1 of the paper) with the shape domain")
+    exit_state = engine.query_location(cfg.exit)
+    print("  demanded unrollings of the traversal loop:", engine.stats.unrollings)
+    print("  possible null dereferences:", sorted(exit_state.faults()) or "none")
+    print("  returned list well-formed:",
+          domain.verifies_wellformed(exit_state, A.RETURN_VARIABLE))
+    print("  exit state:")
+    for disjunct in exit_state.disjuncts:
+        print("    ∨", disjunct)
+
+
+def verify_list_utilities() -> None:
+    print("\nVerifying the Buckets.js-style list utilities")
+    client = ShapeVerificationClient()
+    for name in sorted(LIST_PROGRAMS):
+        from repro.lang.programs import list_program
+        verdict = client.verify_program(list_program(name))[name]
+        print("  " + verdict.summary())
+
+
+def break_and_requery() -> None:
+    print("\nBreaking the null check and re-querying (incremental re-analysis)")
+    program = append_program()
+    cfg = build_cfg(program.procedure("append"))
+    domain = ShapeDomain()
+    engine = DaigEngine(cfg, domain)
+    engine.query_location(cfg.exit)
+
+    # Replace `assume (p != null)` with `assume true`: r may now be null when
+    # the loop dereferences r.next, and the analysis reports the fault.
+    target = next(edge for edge in engine.cfg.edges
+                  if isinstance(edge.stmt, A.AssumeStmt)
+                  and "p != null" in str(edge.stmt))
+    engine.replace_statement(target, A.AssumeStmt(A.BoolLit(True)))
+    broken = engine.query_location(engine.cfg.exit)
+    print("  after the edit, possible faults:", sorted(broken.faults()))
+
+
+if __name__ == "__main__":
+    print(APPEND_SOURCE)
+    verify_append()
+    verify_list_utilities()
+    break_and_requery()

@@ -1,0 +1,7 @@
+"""Setuptools shim so that ``pip install -e .`` works without the ``wheel``
+package (this offline environment lacks it); all metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — a Python reproduction of "Demanded Abstract Interpretation" (PLDI 2021).
+
+The package is organized around the paper's architecture:
+
+* :mod:`repro.lang` — the imperative language frontend (AST, parser, CFGs,
+  subject programs);
+* :mod:`repro.concrete` — the concrete semantics (soundness oracle);
+* :mod:`repro.domains` — abstract domains behind the generic
+  ⟨Σ♯, φ0, ⟦·⟧♯, ⊑, ⊔, ∇⟩ interface (sign, constants, interval, octagon,
+  separation-logic shape analysis);
+* :mod:`repro.ai` — classical batch abstract interpretation (the baseline
+  and from-scratch-consistency oracle);
+* :mod:`repro.daig` — demanded abstract interpretation graphs: names, cells,
+  initial construction, query semantics with demanded unrolling, incremental
+  edit semantics, and the per-procedure engine;
+* :mod:`repro.interproc` — context-sensitive interprocedural analysis built
+  from one DAIG per (procedure, context);
+* :mod:`repro.analysis` — the four analysis configurations of Section 7.3
+  and the verification clients of Section 7.2;
+* :mod:`repro.workload` — the synthetic edit/query workload generator and
+  latency statistics used to reproduce Fig. 10.
+"""
+
+__version__ = "1.0.0"
+
+from .lang import parse_program, build_cfg
+from .domains import (
+    ConstantDomain,
+    IntervalDomain,
+    OctagonDomain,
+    ShapeDomain,
+    SignDomain,
+)
+from .ai import BatchAnalyzer, analyze_cfg
+from .daig import DaigEngine, MemoTable
+
+__all__ = [
+    "__version__",
+    "parse_program",
+    "build_cfg",
+    "ConstantDomain",
+    "IntervalDomain",
+    "OctagonDomain",
+    "ShapeDomain",
+    "SignDomain",
+    "BatchAnalyzer",
+    "analyze_cfg",
+    "DaigEngine",
+    "MemoTable",
+]

@@ -1,0 +1,15 @@
+"""Classical batch abstract interpretation (the paper's baseline)."""
+
+from .interpreter import (
+    MAX_WIDENING_ITERATIONS,
+    BatchAnalyzer,
+    FixpointDivergenceError,
+    analyze_cfg,
+)
+
+__all__ = [
+    "MAX_WIDENING_ITERATIONS",
+    "BatchAnalyzer",
+    "FixpointDivergenceError",
+    "analyze_cfg",
+]

@@ -1,0 +1,43 @@
+"""Analysis configurations (Section 7.3) and verification clients (Section 7.2)."""
+
+from .config import (
+    ALL_CONFIGURATIONS,
+    AnalysisConfiguration,
+    BatchConfiguration,
+    DemandConfiguration,
+    IncrementalConfiguration,
+    IncrementalDemandConfiguration,
+    make_configuration,
+)
+from .array_safety import (
+    AccessVerdict,
+    ArrayAccess,
+    ArraySafetyClient,
+    SafetyReport,
+    collect_array_accesses,
+    verify_array_programs,
+)
+from .shape_verification import (
+    ShapeVerdict,
+    ShapeVerificationClient,
+    procedure_returns_pointer,
+)
+
+__all__ = [
+    "ALL_CONFIGURATIONS",
+    "AnalysisConfiguration",
+    "BatchConfiguration",
+    "DemandConfiguration",
+    "IncrementalConfiguration",
+    "IncrementalDemandConfiguration",
+    "make_configuration",
+    "AccessVerdict",
+    "ArrayAccess",
+    "ArraySafetyClient",
+    "SafetyReport",
+    "collect_array_accesses",
+    "verify_array_programs",
+    "ShapeVerdict",
+    "ShapeVerificationClient",
+    "procedure_returns_pointer",
+]

@@ -1,0 +1,37 @@
+"""Concrete semantics: states, interpreter, and bounded collecting semantics."""
+
+from .state import (
+    Address,
+    ArrayValue,
+    ConcreteError,
+    ConcreteState,
+    NullDereferenceError,
+    OutOfBoundsError,
+    initial_state,
+)
+from .interp import (
+    CfgInterpreter,
+    InfeasibleError,
+    ProgramInterpreter,
+    collecting_semantics,
+    eval_expr,
+    exec_stmt,
+    random_initial_states,
+)
+
+__all__ = [
+    "Address",
+    "ArrayValue",
+    "ConcreteError",
+    "ConcreteState",
+    "NullDereferenceError",
+    "OutOfBoundsError",
+    "initial_state",
+    "CfgInterpreter",
+    "InfeasibleError",
+    "ProgramInterpreter",
+    "collecting_semantics",
+    "eval_expr",
+    "exec_stmt",
+    "random_initial_states",
+]

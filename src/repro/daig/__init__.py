@@ -1,0 +1,44 @@
+"""Demanded abstract interpretation graphs: the paper's core contribution."""
+
+from . import names
+from .build import DaigBuilder
+from .edit import InvalidEditError, dirty_forward, write_cell
+from .engine import DaigEngine
+from .graph import (
+    Computation,
+    Daig,
+    FIX,
+    IllFormedDaigError,
+    JOIN,
+    TRANSFER,
+    WIDEN,
+)
+from .memo import MemoTable
+from .names import Name, fix_name, prejoin_name, prewiden_name, state_name, stmt_name
+from .query import MAX_UNROLLINGS, QueryEvaluator, QueryStats
+
+__all__ = [
+    "names",
+    "DaigBuilder",
+    "InvalidEditError",
+    "dirty_forward",
+    "write_cell",
+    "DaigEngine",
+    "Computation",
+    "Daig",
+    "FIX",
+    "IllFormedDaigError",
+    "JOIN",
+    "TRANSFER",
+    "WIDEN",
+    "MemoTable",
+    "Name",
+    "fix_name",
+    "prejoin_name",
+    "prewiden_name",
+    "state_name",
+    "stmt_name",
+    "MAX_UNROLLINGS",
+    "QueryEvaluator",
+    "QueryStats",
+]

@@ -1,0 +1,252 @@
+"""Initial DAIG construction (``Dinit``, Definition A.2) and demanded unrolling.
+
+:class:`DaigBuilder` translates a CFG plus an abstract-interpreter interface
+into the initial DAIG of Lemma 4.1 and provides the ``unroll`` operation used
+by the Q-Loop-Unroll rule: materializing the next abstract iteration of a
+loop body while keeping the graph acyclic.
+
+The construction follows the three cases of Fig. 7:
+
+1. a forward CFG edge to a non-join location becomes a single transfer
+   computation,
+2. forward edges into a join location go through indexed pre-join cells and
+   a single join computation,
+3. a back edge becomes the ``k``-iterate widening chain: a transfer from the
+   loop body's last location into a pre-widening cell, a widening
+   computation producing the next loop-head iterate, and a ``fix``
+   computation from the two greatest iterates into the loop head's
+   fixed-point cell.  Initially ``k = 1``; ``unroll`` extends the chain on
+   demand.
+
+Nested loops are supported by giving every cell an iteration index *per
+enclosing loop head* (see :mod:`repro.daig.names`); unrolling an outer loop
+rebuilds the inner loops' initial (two-iterate) structure inside the new
+outer iteration, which preserves acyclicity and all consistency invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..domains.base import AbstractDomain
+from ..lang.cfg import Cfg, CfgEdge, Loc
+from . import names as N
+from .graph import Computation, Daig, FIX, JOIN, TRANSFER, WIDEN
+
+
+class DaigBuilder:
+    """Builds and extends DAIGs for one CFG and one abstract domain.
+
+    ``entry_state`` overrides the initial abstract state φ0 (the default is
+    ``domain.initial(cfg.params)``); the interprocedural engine uses this to
+    seed callee DAIGs with context-specific entry states.
+    """
+
+    def __init__(self, cfg: Cfg, domain: AbstractDomain,
+                 entry_state: Optional[object] = None) -> None:
+        self.cfg = cfg
+        self.domain = domain
+        self.entry_state = (entry_state if entry_state is not None
+                            else domain.initial(cfg.params))
+
+    # -- naming helpers -----------------------------------------------------------
+
+    def state_name(self, loc: Loc, overrides: Dict[Loc, int]) -> N.Name:
+        return N.state_name(loc, self.cfg.containing_loop_heads(loc), overrides)
+
+    def fix_name(self, head: Loc, overrides: Dict[Loc, int]) -> N.Name:
+        return N.fix_name(head, self.cfg.containing_loop_heads(head), overrides)
+
+    def prewiden_name(self, head: Loc, step: int, overrides: Dict[Loc, int]) -> N.Name:
+        return N.prewiden_name(head, step, self.cfg.containing_loop_heads(head),
+                               overrides)
+
+    def prejoin_name(self, loc: Loc, index: int, overrides: Dict[Loc, int]) -> N.Name:
+        return N.prejoin_name(loc, index, self.cfg.containing_loop_heads(loc),
+                              overrides)
+
+    def source_name(self, src: Loc, dst: Loc, overrides: Dict[Loc, int]) -> N.Name:
+        """The cell a transfer over ``src → dst`` reads its input state from.
+
+        Following footnote 5 of the paper: when the source is a loop head and
+        the edge leaves the loop, the input is the loop's fixed point;
+        otherwise it is the source's (possibly iteration-indexed) state cell.
+        """
+        if src in self.cfg.loop_heads() and dst not in self.cfg.natural_loop(src):
+            return self.fix_name(src, overrides)
+        return self.state_name(src, overrides)
+
+    # -- initial construction ---------------------------------------------------------
+
+    def check_loop_exits(self) -> None:
+        """Enforce the structured-loop assumption of the DAIG encoding.
+
+        The Fig. 7 encoding of back edges indexes every loop-body cell by an
+        iteration count and lets only the loop head's fixed-point cell feed
+        the code after the loop.  An edge that leaves a natural loop from a
+        non-head location (e.g. a ``return`` in the middle of a loop body)
+        has no sound source cell in that encoding, so it is rejected with a
+        clear error rather than silently producing wrong results.
+        """
+        for edge in self.cfg.forward_edges():
+            for head in self.cfg.containing_loop_heads(edge.src):
+                loop = self.cfg.natural_loop(head)
+                if edge.dst not in loop and edge.src != head:
+                    raise ValueError(
+                        "edge %s exits the loop headed at %d from a non-head "
+                        "location; the DAIG encoding requires loops to exit "
+                        "through their head" % (edge, head))
+
+    def build(self) -> Daig:
+        """Construct the initial DAIG ``Dinit`` (Definition A.2)."""
+        self.cfg.check_reducible()
+        self.check_loop_exits()
+        daig = Daig()
+        entry_name = self.state_name(self.cfg.entry, {})
+        if self.cfg.entry in self.cfg.loop_heads() or self.cfg.in_any_loop(self.cfg.entry):
+            raise ValueError("the entry location may not belong to a loop")
+        daig.add_ref(entry_name)
+        daig.set_value(entry_name, self.entry_state)
+        reachable = self.cfg.reachable_locations()
+        for loc in sorted(reachable):
+            if loc == self.cfg.entry:
+                continue
+            self.encode_incoming(daig, loc, {})
+        for head in self.cfg.loop_heads():
+            if head in reachable:
+                self.build_loop_structures(daig, head, {})
+        return daig
+
+    def encode_incoming(self, daig: Daig, loc: Loc, overrides: Dict[Loc, int]) -> None:
+        """Encode all incoming *forward* edges of ``loc`` (Fig. 7, cases 1-2)."""
+        edges = self.cfg.fwd_edges_to(loc)
+        if not edges:
+            return
+        dest = self.state_name(loc, overrides)
+        daig.add_ref(dest)
+        if len(edges) == 1:
+            index, edge = edges[0]
+            stmt_cell = self._stmt_cell(daig, edge, 0)
+            source = self.source_name(edge.src, loc, overrides)
+            daig.add_ref(source)
+            daig.add_computation(dest, TRANSFER, (stmt_cell, source))
+            return
+        prejoins = []
+        for index, edge in edges:
+            stmt_cell = self._stmt_cell(daig, edge, index)
+            source = self.source_name(edge.src, loc, overrides)
+            daig.add_ref(source)
+            prejoin = self.prejoin_name(loc, index, overrides)
+            daig.add_ref(prejoin)
+            daig.add_computation(prejoin, TRANSFER, (stmt_cell, source))
+            prejoins.append(prejoin)
+        daig.add_computation(dest, JOIN, tuple(prejoins))
+
+    def _stmt_cell(self, daig: Daig, edge: CfgEdge, index: int) -> N.Name:
+        name = N.stmt_name(edge.src, edge.dst, index)
+        daig.add_ref(name)
+        daig.set_value(name, edge.stmt)
+        return name
+
+    def build_loop_structures(
+        self, daig: Daig, head: Loc, overrides: Dict[Loc, int]
+    ) -> None:
+        """Encode a back edge as the initial two-iterate chain (Fig. 7, case 3)."""
+        back_edges = self.cfg.back_edges_to(head)
+        if len(back_edges) != 1:
+            raise ValueError(
+                "loop head %d has %d back edges; exactly one is supported"
+                % (head, len(back_edges)))
+        back = back_edges[0]
+        body_overrides = dict(overrides)
+        body_overrides[head] = 0
+        iterate0 = self.state_name(head, body_overrides)
+        iterate1 = self.state_name(head, {**overrides, head: 1})
+        prewiden1 = self.prewiden_name(head, 1, overrides)
+        fix_cell = self.fix_name(head, overrides)
+        for name in (iterate0, iterate1, prewiden1, fix_cell):
+            daig.add_ref(name)
+        stmt_cell = self._stmt_cell(daig, back, 0)
+        source = self.source_name(back.src, head, body_overrides)
+        daig.add_ref(source)
+        daig.add_computation(prewiden1, TRANSFER, (stmt_cell, source))
+        daig.add_computation(iterate1, WIDEN, (iterate0, prewiden1))
+        daig.add_computation(fix_cell, FIX, (iterate0, iterate1))
+
+    # -- demanded unrolling -----------------------------------------------------------------
+
+    def current_unrolling(self, daig: Daig, head: Loc, overrides: Dict[Loc, int]) -> int:
+        """The greatest abstract iterate currently encoded for ``head``."""
+        fix_cell = self.fix_name(head, overrides)
+        comp = daig.defining(fix_cell)
+        if comp is None or comp.func != FIX:
+            raise KeyError("no fix computation for loop head %d" % head)
+        return comp.srcs[1].iteration_of(head)
+
+    def unroll(self, daig: Daig, head: Loc, overrides: Dict[Loc, int]) -> int:
+        """Unroll the abstract interpretation of ``head``'s loop by one step.
+
+        Creates the loop-body cells for the current greatest iterate ``k``,
+        the pre-widening and widening chain producing iterate ``k+1``, and
+        slides the ``fix`` edge forward to ``(k, k+1)``.  Returns ``k+1``.
+        """
+        fix_cell = self.fix_name(head, overrides)
+        comp = daig.defining(fix_cell)
+        if comp is None or comp.func != FIX:
+            raise KeyError("no fix computation for loop head %d" % head)
+        k = comp.srcs[1].iteration_of(head)
+        body_overrides = dict(overrides)
+        body_overrides[head] = k
+        loop = self.cfg.natural_loop(head)
+        for loc in sorted(loop):
+            if loc == head:
+                continue
+            self.encode_incoming(daig, loc, body_overrides)
+        for inner in self.cfg.loop_heads():
+            if inner != head and inner in loop:
+                # Only rebuild inner loops immediately nested in `head` here;
+                # deeper nests are handled recursively when those inner loops
+                # are themselves unrolled.
+                inner_containing = self.cfg.containing_loop_heads(inner)
+                if head in inner_containing:
+                    self.build_loop_structures(daig, inner, body_overrides)
+        back = self.cfg.back_edges_to(head)[0]
+        stmt_cell = N.stmt_name(back.src, back.dst, 0)
+        prewiden_next = self.prewiden_name(head, k + 1, overrides)
+        iterate_k = self.state_name(head, {**overrides, head: k})
+        iterate_next = self.state_name(head, {**overrides, head: k + 1})
+        source = self.source_name(back.src, head, body_overrides)
+        daig.add_ref(prewiden_next)
+        daig.add_ref(iterate_next)
+        daig.add_ref(source)
+        daig.add_computation(prewiden_next, TRANSFER, (stmt_cell, source))
+        daig.add_computation(iterate_next, WIDEN, (iterate_k, prewiden_next))
+        daig.replace_computation(fix_cell, FIX, (iterate_k, iterate_next))
+        return k + 1
+
+    def roll(self, daig: Daig, head: Loc, overrides: Dict[Loc, int]) -> None:
+        """Roll a loop back to its initial two-iterate form (edit semantics).
+
+        Removes every cell and computation belonging to iteration >= 2 of
+        ``head`` (within the given outer-loop context) and resets the ``fix``
+        computation to depend on iterates 0 and 1, as rule E-Loop requires.
+        """
+        fix_cell = self.fix_name(head, overrides)
+        if daig.defining(fix_cell) is None:
+            return
+        context = tuple(sorted(
+            (h, overrides.get(h, 0))
+            for h in self.cfg.containing_loop_heads(head) if h != head))
+        to_remove = []
+        for name in list(daig.refs):
+            if not name.mentions_head_iteration(head, 2):
+                continue
+            if all(item in name.iters or item[0] == head for item in context) or not context:
+                to_remove.append(name)
+        for name in to_remove:
+            daig.remove_computation(name)
+        for name in to_remove:
+            daig.remove_ref(name)
+        iterate0 = self.state_name(head, {**overrides, head: 0})
+        iterate1 = self.state_name(head, {**overrides, head: 1})
+        daig.replace_computation(fix_cell, FIX, (iterate0, iterate1))

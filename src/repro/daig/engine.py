@@ -1,0 +1,249 @@
+"""The demanded-abstract-interpretation engine for a single procedure.
+
+:class:`DaigEngine` is the user-facing object tying everything together: it
+owns a CFG, the DAIG reifying its abstract interpretation, and the auxiliary
+memo table, and it exposes the two interaction modes of the paper —
+*queries* ("what is the abstract state at this location?") and *edits*
+("this statement was inserted / replaced / deleted") — with fine-grained
+reuse across both.
+
+Client queries are phrased in terms of program locations; the engine maps
+them to cell names, forcing loop fixed points to converge (demanded
+unrolling) as needed and returning the invariant the batch interpreter would
+compute (Theorem 6.1).
+
+Program edits go through the CFG's structural edit operations; the engine
+then splices the DAIG: the new initial structure is built, every cell whose
+name and defining computation are unchanged keeps its previously computed
+value, and everything downstream of a changed statement or changed structure
+is dirtied (rules E-Commit / E-Propagate / E-Loop), to be recomputed lazily
+on the next query.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..domains.base import AbstractDomain
+from ..lang import ast as A
+from ..lang.cfg import Cfg, CfgEdge, Loc
+from .build import DaigBuilder
+from .edit import write_cell
+from .graph import Daig, FIX, TRANSFER
+from .memo import MemoTable
+from .names import Name, TYPE_STMT, stmt_name
+from .query import QueryEvaluator, QueryStats
+
+#: Deep demand chains recurse through Python frames; make sure the
+#: interpreter allows programs of the size the synthetic workload produces.
+_MIN_RECURSION_LIMIT = 50_000
+
+
+class DaigEngine:
+    """Incremental, demand-driven abstract interpretation of one procedure."""
+
+    def __init__(
+        self,
+        cfg: Cfg,
+        domain: AbstractDomain,
+        memo: Optional[MemoTable] = None,
+        entry_state: Optional[Any] = None,
+        call_transfer: Optional[Callable[[A.CallStmt, Any], Any]] = None,
+    ) -> None:
+        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        self.cfg = cfg
+        self.domain = domain
+        self.memo = memo if memo is not None else MemoTable()
+        self.call_transfer = call_transfer
+        self._entry_state = entry_state
+        self.builder = DaigBuilder(cfg, domain, entry_state)
+        self.daig = self.builder.build()
+        self.evaluator = QueryEvaluator(
+            self.daig, self.memo, domain, self.builder, call_transfer)
+        self.edits_applied = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def stats(self) -> QueryStats:
+        return self.evaluator.stats
+
+    def size(self) -> Tuple[int, int]:
+        """``(cells, computations)`` of the current DAIG."""
+        return self.daig.size()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query_cell(self, name: Name) -> Any:
+        """Query an arbitrary cell by name (the raw Fig. 8 judgment)."""
+        return self.evaluator.query(name)
+
+    def query_location(self, loc: Loc) -> Any:
+        """The fixed-point invariant at ``loc`` (demanded, with reuse).
+
+        For locations inside loops this forces the enclosing loops' demanded
+        fixed points to converge and returns the abstract state computed from
+        the final iterate, which equals the classical invariant.
+        """
+        if loc not in self.cfg.reachable_locations():
+            return self.domain.bottom()
+        heads = self.cfg.containing_loop_heads(loc)
+        overrides: Dict[Loc, int] = {}
+        for head in heads:
+            self._ensure_converged(head, overrides)
+            comp = self.daig.defining(self.builder.fix_name(head, overrides))
+            overrides[head] = comp.srcs[0].iteration_of(head)
+        if loc in self.cfg.loop_heads():
+            return self.evaluator.query(self.builder.fix_name(loc, overrides))
+        return self.evaluator.query(self.builder.state_name(loc, overrides))
+
+    def query_exit(self) -> Any:
+        """The invariant at the procedure's exit location."""
+        return self.query_location(self.cfg.exit)
+
+    def query_all(self) -> Dict[Loc, Any]:
+        """Invariants at every reachable location (exhaustive evaluation)."""
+        return {loc: self.query_location(loc)
+                for loc in sorted(self.cfg.reachable_locations())}
+
+    def _ensure_converged(self, head: Loc, overrides: Dict[Loc, int]) -> None:
+        """Make sure the loop at ``head`` has converged iterates available.
+
+        A fixed-point value carried over from before an edit is still valid,
+        but the iterate cells it was derived from may have been rolled back;
+        queries *inside* the loop body need those iterates, so in that case
+        the cached fixed point is dropped (always sound) and recomputed.
+        """
+        fix_cell = self.builder.fix_name(head, overrides)
+        comp = self.daig.defining(fix_cell)
+        if comp is None:
+            raise KeyError("no loop structure for head %d" % head)
+        first, second = comp.srcs
+        if (self.daig.has_value(first) and self.daig.has_value(second)
+                and self.domain.equal(self.daig.value(first),
+                                      self.daig.value(second))):
+            self.evaluator.query(fix_cell)
+            return
+        if self.daig.has_value(fix_cell):
+            self.daig.clear_value(fix_cell)
+        self.evaluator.query(fix_cell)
+
+    # -- faithful cell-level edits (Fig. 9) ----------------------------------------------
+
+    def write_statement(self, edge: CfgEdge, stmt: A.AtomicStmt) -> CfgEdge:
+        """Replace a statement *in place* through the Fig. 9 edit judgment.
+
+        Only supported when the edit does not re-index the destination's
+        incoming edges (i.e. the destination is not a join point); the
+        general case goes through :meth:`replace_statement`.
+        """
+        indexed = self.cfg.fwd_edges_to(edge.dst)
+        index = 0
+        for i, candidate in indexed:
+            if candidate == edge:
+                index = i if len(indexed) > 1 else 0
+        new_edge = self.cfg.replace_edge_statement(edge, stmt)
+        name = stmt_name(edge.src, edge.dst, index)
+        write_cell(self.daig, self.builder, name, stmt)
+        self.edits_applied += 1
+        return new_edge
+
+    # -- structural edits -------------------------------------------------------------------
+
+    def replace_statement(self, edge: CfgEdge, stmt: A.AtomicStmt) -> CfgEdge:
+        """Replace the statement labelling ``edge`` and re-sync the DAIG."""
+        new_edge = self.cfg.replace_edge_statement(edge, stmt)
+        self._sync_structure()
+        return new_edge
+
+    def delete_statement(self, edge: CfgEdge) -> CfgEdge:
+        """Delete a statement (replace it with ``skip``), as in Lemma B.2."""
+        new_edge = self.cfg.delete_edge_statement(edge)
+        self._sync_structure()
+        return new_edge
+
+    def insert_statement_after(self, loc: Loc, stmt: A.AtomicStmt) -> Loc:
+        """Insert a single statement after ``loc``."""
+        cont = self.cfg.insert_statement_after(loc, stmt)
+        self._sync_structure()
+        return cont
+
+    def insert_conditional_after(
+        self,
+        loc: Loc,
+        cond: A.Expr,
+        then_stmts: Sequence[A.AtomicStmt],
+        else_stmts: Sequence[A.AtomicStmt] = (),
+    ) -> Loc:
+        """Insert an if-then-else after ``loc``."""
+        cont = self.cfg.insert_conditional_after(loc, cond, then_stmts, else_stmts)
+        self._sync_structure()
+        return cont
+
+    def insert_loop_after(
+        self,
+        loc: Loc,
+        cond: A.Expr,
+        body_stmts: Sequence[A.AtomicStmt],
+    ) -> Loc:
+        """Insert a while loop after ``loc``."""
+        cont = self.cfg.insert_loop_after(loc, cond, body_stmts)
+        self._sync_structure()
+        return cont
+
+    def set_entry_state(self, state: Any) -> None:
+        """Change the procedure's entry abstract state (interprocedural use)."""
+        self._entry_state = state
+        self.builder.entry_state = state
+        entry_name = self.builder.state_name(self.cfg.entry, {})
+        write_cell(self.daig, self.builder, entry_name, state)
+
+    # -- structure synchronization ---------------------------------------------------------
+
+    def _sync_structure(self) -> None:
+        """Splice the DAIG after a CFG edit: keep clean cells, dirty the rest."""
+        self.edits_applied += 1
+        old = self.daig
+        builder = DaigBuilder(self.cfg, self.domain, self._entry_state)
+        new = builder.build()
+        seeds: List[Name] = []
+        for name in new.refs:
+            if name.cell_type() == TYPE_STMT:
+                if name not in old.refs or not old.has_value(name) \
+                        or old.value(name) != new.value(name):
+                    seeds.append(name)
+                continue
+            new_comp = new.defining(name)
+            if new_comp is None:
+                # The entry cell: its value is φ0 in both versions.
+                continue
+            old_comp = old.defining(name) if name in old.refs else None
+            if old_comp is None or old_comp.func != new_comp.func:
+                seeds.append(name)
+                continue
+            if new_comp.func != FIX and old_comp.srcs != new_comp.srcs:
+                seeds.append(name)
+                continue
+            if old.has_value(name):
+                new.set_value(name, old.value(name))
+        for name in new.forward_reachable(seeds):
+            if name.cell_type() != TYPE_STMT:
+                new.clear_value(name)
+        self.daig = new
+        self.builder = builder
+        self.evaluator.daig = new
+        self.evaluator.builder = builder
+
+    # -- convenience -------------------------------------------------------------------------
+
+    def find_edges(self, src: Optional[Loc] = None) -> List[CfgEdge]:
+        """All CFG edges, optionally restricted to a source location."""
+        if src is None:
+            return list(self.cfg.edges)
+        return self.cfg.out_edges(src)
+
+    def check_consistency(self) -> None:
+        """Assert DAIG well-formedness (used heavily by the test suite)."""
+        self.daig.check_well_formed()

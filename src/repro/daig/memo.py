@@ -1,0 +1,64 @@
+"""The auxiliary memoization table ``M`` of the operational semantics (Fig. 8).
+
+The memo table caches analysis-function results independently of program
+location: the result of ``f(v1, ..., vk)`` is stored under the name
+``f·v1···vk`` so that a later query whose inputs happen to coincide — even
+at a completely different location, or after an edit — can reuse it
+(rule Q-Match) instead of recomputing (rule Q-Miss).
+
+The paper's prototype obtains this table from adapton.ocaml; here it is a
+plain dictionary keyed by the function symbol and the (hashable) input
+values, with hit/miss counters that the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+class MemoTable:
+    """A finite map from ``f·(v1···vk)`` names to previously computed results."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._table: Dict[Tuple[Any, ...], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(func: str, args: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
+        """Build the memo key ``f·(v1···vk)``, or None if any input is unhashable."""
+        try:
+            hash(args)
+        except TypeError:
+            return None
+        return (func,) + args
+
+    def lookup(self, func: str, args: Tuple[Any, ...]) -> Tuple[bool, Any]:
+        """Return ``(found, value)`` for ``f·(v1···vk)``."""
+        if not self.enabled:
+            self.misses += 1
+            return False, None
+        key = self.key(func, args)
+        if key is not None and key in self._table:
+            self.hits += 1
+            return True, self._table[key]
+        self.misses += 1
+        return False, None
+
+    def store(self, func: str, args: Tuple[Any, ...], value: Any) -> None:
+        if not self.enabled:
+            return
+        key = self.key(func, args)
+        if key is not None:
+            self._table[key] = value
+
+    def clear(self) -> None:
+        """Drop all cached results (always sound, per Section 2.2)."""
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._table), "hits": self.hits, "misses": self.misses}

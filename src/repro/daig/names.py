@@ -1,0 +1,143 @@
+"""Names: unique identifiers for DAIG reference cells (Fig. 6).
+
+The paper's names are built from locations, function symbols, values,
+integers, products, and *i-primed* variants ``n^(i)`` that distinguish the
+``i``-th unrolled copy of a loop-body cell.  This module implements a small
+structured-name algebra with the same roles:
+
+* ``state(ℓ, iters)`` — the abstract-state cell at location ``ℓ``; ``iters``
+  assigns an iteration count to every loop head whose natural loop contains
+  ``ℓ`` (the paper's single prime index, generalized to nested loops),
+* ``fix(ℓ, iters)`` — the fixed-point cell of the loop headed at ``ℓ``
+  (``iters`` covers the *enclosing* loops only),
+* ``stmt(src, dst, index)`` — a statement cell labelling the CFG edge
+  ``src → dst`` (``index`` disambiguates multiple forward edges into a join
+  point); statement cells are never iteration-indexed, matching the paper's
+  observation that program syntax is not duplicated by unrolling,
+* ``prejoin(ℓ, i, iters)`` — the ``i·n_ℓ`` cell holding the abstract state
+  flowing into join point ``ℓ`` along its ``i``-th incoming forward edge,
+* ``prewiden(ℓ, k, iters)`` — the ``ℓ^(k-1)·ℓ^(k)`` cell holding the
+  image of the loop body under the abstract semantics, input to the ``k``-th
+  widening.
+
+All name equality is structural, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+Iterations = Tuple[Tuple[int, int], ...]
+
+#: Name kinds.
+STATE = "state"
+FIX = "fix"
+STMT = "stmt"
+PREJOIN = "prejoin"
+PREWIDEN = "prewiden"
+
+#: Cell types (the τ of Fig. 6).
+TYPE_STMT = "Stmt"
+TYPE_STATE = "Sigma"
+
+
+@dataclass(frozen=True)
+class Name:
+    """A structured DAIG name.  Fields are interpreted per ``kind``:
+
+    ==========  =========  ===========================  =====================
+    kind        loc        aux                          iters
+    ==========  =========  ===========================  =====================
+    state       location   (unused)                     enclosing-loop iters
+    fix         loop head  (unused)                     *outer*-loop iters
+    stmt        edge src   edge dst                     (unused)
+    prejoin     join loc   incoming-edge index (1-...)  enclosing-loop iters
+    prewiden    loop head  widening step k (1-based)    *outer*-loop iters
+    ==========  =========  ===========================  =====================
+
+    Statement names additionally carry ``index`` for join disambiguation.
+    """
+
+    kind: str
+    loc: int
+    aux: int = 0
+    index: int = 0
+    iters: Iterations = ()
+
+    def cell_type(self) -> str:
+        return TYPE_STMT if self.kind == STMT else TYPE_STATE
+
+    def iteration_of(self, head: int) -> int:
+        """The iteration count this name carries for loop head ``head``."""
+        for key, value in self.iters:
+            if key == head:
+                return value
+        if self.kind == PREWIDEN and self.loc == head:
+            return self.aux
+        return 0
+
+    def mentions_head_iteration(self, head: int, minimum: int) -> bool:
+        """Whether this name belongs to iteration >= ``minimum`` of ``head``."""
+        for key, value in self.iters:
+            if key == head and value >= minimum:
+                return True
+        if self.kind == PREWIDEN and self.loc == head and self.aux >= minimum:
+            return True
+        return False
+
+    def __str__(self) -> str:
+        iters = "".join("^(%d:%d)" % (h, k) for h, k in self.iters)
+        if self.kind == STATE:
+            return "ℓ%d%s" % (self.loc, iters)
+        if self.kind == FIX:
+            return "fix[ℓ%d]%s" % (self.loc, iters)
+        if self.kind == STMT:
+            if self.index:
+                return "%d·ℓ%d·ℓ%d" % (self.index, self.loc, self.aux)
+            return "ℓ%d·ℓ%d" % (self.loc, self.aux)
+        if self.kind == PREJOIN:
+            return "%d·ℓ%d%s" % (self.aux, self.loc, iters)
+        return "ℓ%d(%d-1)·ℓ%d(%d)%s" % (self.loc, self.aux, self.loc, self.aux, iters)
+
+
+def _sorted_iters(mapping: Dict[int, int]) -> Iterations:
+    return tuple(sorted(mapping.items()))
+
+
+def state_name(loc: int, heads: Iterable[int], overrides: Dict[int, int]) -> Name:
+    """The abstract-state cell at ``loc`` under the given loop iterations.
+
+    ``heads`` lists every loop head whose natural loop contains ``loc``;
+    each gets the iteration count from ``overrides`` (defaulting to 0).
+    """
+    return Name(STATE, loc, iters=_sorted_iters(
+        {head: overrides.get(head, 0) for head in heads}))
+
+
+def fix_name(head: int, outer_heads: Iterable[int], overrides: Dict[int, int]) -> Name:
+    """The fixed-point cell of the loop headed at ``head``.
+
+    ``outer_heads`` lists the loop heads strictly enclosing ``head``.
+    """
+    return Name(FIX, head, iters=_sorted_iters(
+        {h: overrides.get(h, 0) for h in outer_heads if h != head}))
+
+
+def stmt_name(src: int, dst: int, index: int = 0) -> Name:
+    """The statement cell for CFG edge ``src → dst`` (index for joins)."""
+    return Name(STMT, src, dst, index)
+
+
+def prejoin_name(loc: int, index: int, heads: Iterable[int],
+                 overrides: Dict[int, int]) -> Name:
+    """The pre-join cell ``index·n_loc``."""
+    return Name(PREJOIN, loc, index, iters=_sorted_iters(
+        {head: overrides.get(head, 0) for head in heads}))
+
+
+def prewiden_name(head: int, step: int, outer_heads: Iterable[int],
+                  overrides: Dict[int, int]) -> Name:
+    """The pre-widening cell feeding the ``step``-th iterate of ``head``."""
+    return Name(PREWIDEN, head, step, iters=_sorted_iters(
+        {h: overrides.get(h, 0) for h in outer_heads if h != head}))

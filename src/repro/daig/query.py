@@ -1,0 +1,143 @@
+"""Demand-driven query evaluation over DAIGs (Fig. 8).
+
+:class:`QueryEvaluator` implements the ``D, M ⊢ n ⇒ v ; D', M'`` judgment:
+
+* **Q-Reuse** — a cell that already holds a value returns it unchanged;
+* **Q-Match** — an empty cell whose inputs evaluate to values already in the
+  memo table reuses the memoized result;
+* **Q-Miss** — otherwise the analysis function is applied, and the result is
+  stored both in the cell and in the memo table;
+* **Q-Loop-Converge** — a ``fix`` cell whose two input iterates agree holds
+  the loop's fixed point;
+* **Q-Loop-Unroll** — otherwise the loop is unrolled by one abstract
+  iteration (:meth:`repro.daig.build.DaigBuilder.unroll`) and the query is
+  reissued; convergence of the underlying widening bounds the number of
+  unrollings (Theorem 6.3).
+
+Call statements are special-cased: their abstract effect may depend on a
+callee analysis (Section 7.1), so the evaluator accepts a ``call_transfer``
+hook and never memoizes call transfers in the location-independent table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..domains.base import AbstractDomain
+from ..lang import ast as A
+from .build import DaigBuilder
+from .graph import Computation, Daig, FIX, IllFormedDaigError, JOIN, TRANSFER, WIDEN
+from .memo import MemoTable
+from .names import Name
+
+#: Safety bound on demanded unrollings of a single loop; a convergent
+#: widening never comes close, so exceeding it signals a domain bug.
+MAX_UNROLLINGS = 2000
+
+
+class QueryStats:
+    """Counters describing the work a sequence of queries performed."""
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.joins = 0
+        self.widens = 0
+        self.unrollings = 0
+        self.cells_computed = 0
+        self.cells_reused = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "transfers": self.transfers,
+            "joins": self.joins,
+            "widens": self.widens,
+            "unrollings": self.unrollings,
+            "cells_computed": self.cells_computed,
+            "cells_reused": self.cells_reused,
+        }
+
+
+class QueryEvaluator:
+    """Evaluates demand queries against a DAIG + memo table."""
+
+    def __init__(
+        self,
+        daig: Daig,
+        memo: MemoTable,
+        domain: AbstractDomain,
+        builder: DaigBuilder,
+        call_transfer: Optional[Callable[[A.CallStmt, Any], Any]] = None,
+    ) -> None:
+        self.daig = daig
+        self.memo = memo
+        self.domain = domain
+        self.builder = builder
+        self.call_transfer = call_transfer
+        self.stats = QueryStats()
+
+    # -- the query judgment ------------------------------------------------------------
+
+    def query(self, name: Name) -> Any:
+        """Request the value of cell ``name``, computing dependencies on demand."""
+        if self.daig.has_value(name):
+            self.stats.cells_reused += 1
+            return self.daig.value(name)
+        comp = self.daig.defining(name)
+        if comp is None:
+            raise IllFormedDaigError("query for undefined empty cell %s" % (name,))
+        if comp.func == FIX:
+            return self._query_fix(name, comp)
+        args = tuple(self.query(src) for src in comp.srcs)
+        value = self._evaluate(comp, args)
+        self.daig.set_value(name, value)
+        self.stats.cells_computed += 1
+        return value
+
+    def _evaluate(self, comp: Computation, args: Tuple[Any, ...]) -> Any:
+        is_call = comp.func == TRANSFER and isinstance(args[0], A.CallStmt)
+        if not is_call:
+            found, cached = self.memo.lookup(comp.func, args)
+            if found:
+                return cached
+        value = self._apply(comp.func, args)
+        if not is_call:
+            self.memo.store(comp.func, args, value)
+        return value
+
+    def _apply(self, func: str, args: Tuple[Any, ...]) -> Any:
+        if func == TRANSFER:
+            stmt, state = args
+            if isinstance(stmt, A.CallStmt) and self.call_transfer is not None:
+                self.stats.transfers += 1
+                return self.call_transfer(stmt, state)
+            self.stats.transfers += 1
+            return self.domain.transfer(stmt, state)
+        if func == JOIN:
+            self.stats.joins += 1
+            result = args[0]
+            for value in args[1:]:
+                result = self.domain.join(result, value)
+            return result
+        if func == WIDEN:
+            self.stats.widens += 1
+            return self.domain.widen(args[0], args[1])
+        raise IllFormedDaigError("cannot apply function %r" % (func,))
+
+    def _query_fix(self, name: Name, comp: Computation) -> Any:
+        """Q-Loop-Converge / Q-Loop-Unroll."""
+        for _attempt in range(MAX_UNROLLINGS):
+            first = self.query(comp.srcs[0])
+            second = self.query(comp.srcs[1])
+            if self.domain.equal(first, second):
+                self.daig.set_value(name, second)
+                self.stats.cells_computed += 1
+                return second
+            self.stats.unrollings += 1
+            overrides = dict(name.iters)
+            self.builder.unroll(self.daig, name.loc, overrides)
+            comp = self.daig.defining(name)
+            if comp is None:
+                raise IllFormedDaigError("fix cell lost its computation: %s" % (name,))
+        raise IllFormedDaigError(
+            "loop at head %d did not converge within %d demanded unrollings"
+            % (name.loc, MAX_UNROLLINGS))

@@ -1,0 +1,51 @@
+"""Abstract domains implementing the ⟨Σ♯, φ0, ⟦·⟧♯, ⊑, ⊔, ∇⟩ interface.
+
+The framework (batch interpreter and DAIG engine alike) is parameterized by
+an :class:`~repro.domains.base.AbstractDomain`.  The domains shipped here
+mirror the paper's instantiations — interval, octagon, and separation-logic
+shape analysis — plus two finite-height domains (sign, constants) used for
+differential testing.
+"""
+
+from .base import AbstractDomain, DomainError, chain_is_increasing, widen_sequence
+from .constant import ConstantDomain
+from .interval import IntervalDomain
+from .nonrel import ArraySummary, EnvState, ScalarValue, ValueEnvDomain
+from .octagon import OctagonDomain, OctagonState
+from .shape import ShapeDomain, ShapeState
+from .sign import SignDomain
+from .values import Constant, ConstantLattice, Interval, IntervalLattice, SignLattice
+
+__all__ = [
+    "AbstractDomain",
+    "DomainError",
+    "chain_is_increasing",
+    "widen_sequence",
+    "ConstantDomain",
+    "IntervalDomain",
+    "ArraySummary",
+    "EnvState",
+    "ScalarValue",
+    "ValueEnvDomain",
+    "OctagonDomain",
+    "OctagonState",
+    "ShapeDomain",
+    "ShapeState",
+    "SignDomain",
+    "Constant",
+    "ConstantLattice",
+    "Interval",
+    "IntervalLattice",
+    "SignLattice",
+]
+
+
+def available_domains() -> dict:
+    """Instantiate one of each shipped domain, keyed by name."""
+    return {
+        "sign": SignDomain(),
+        "constant": ConstantDomain(),
+        "interval": IntervalDomain(),
+        "octagon": OctagonDomain(),
+        "shape": ShapeDomain(),
+    }

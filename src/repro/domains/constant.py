@@ -1,0 +1,17 @@
+"""The constant-propagation abstract domain (flat lattice of integers)."""
+
+from __future__ import annotations
+
+from .nonrel import ValueEnvDomain
+from .values import Constant, ConstantLattice
+
+
+class ConstantDomain(ValueEnvDomain):
+    """Constant propagation over abstract environments."""
+
+    def __init__(self) -> None:
+        super().__init__(ConstantLattice())
+        self.name = "constant"
+
+
+__all__ = ["ConstantDomain", "Constant", "ConstantLattice"]

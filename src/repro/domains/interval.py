@@ -1,0 +1,26 @@
+"""The interval abstract domain (Section 7.2).
+
+The interval domain is the paper's textbook example of an infinite-height
+lattice requiring widening.  The paper instantiates its framework with an
+APRON-backed interval domain; this reproduction uses a pure-Python interval
+lattice (:class:`~repro.domains.values.IntervalLattice`) behind the same
+environment-domain interface, so the framework sees an identical
+⟨Σ♯, φ0, ⟦·⟧♯, ⊑, ⊔, ∇⟩ signature.
+"""
+
+from __future__ import annotations
+
+from .nonrel import ArraySummary, EnvState, ScalarValue, ValueEnvDomain
+from .values import Interval, IntervalLattice
+
+
+class IntervalDomain(ValueEnvDomain):
+    """Interval analysis over abstract environments."""
+
+    def __init__(self) -> None:
+        super().__init__(IntervalLattice())
+        self.name = "interval"
+
+
+__all__ = ["IntervalDomain", "Interval", "IntervalLattice", "EnvState",
+           "ScalarValue", "ArraySummary"]

@@ -1,0 +1,527 @@
+"""A generic non-relational environment domain over a value lattice.
+
+This module implements the abstract environment shared by the sign,
+constant-propagation and interval analyses: an abstract state maps variable
+names to abstract values, where an abstract value is either
+
+* a :class:`ScalarValue` — a value-lattice element describing the numeric
+  values the variable may hold, plus "may be null" / "may be a non-numeric
+  reference" flags, or
+* an :class:`ArraySummary` — an abstraction of an array as a pair of its
+  length (a value-lattice element) and a single summary of all its elements.
+
+Unbound variables are implicitly ⊤ (completely unknown), so dropping a
+binding is always sound; joins and widenings intersect binding sets and
+combine pointwise.
+
+The transfer function interprets the atomic statement language of
+:mod:`repro.lang.ast`, including backward refinement of ``assume``
+conditions (which is what lets the interval instantiation prove array
+bounds), weak updates for array writes, and sound havoc for the features the
+domain does not track (heap fields, opaque calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from ..concrete.state import Address, ArrayValue, ConcreteState
+from ..lang import ast as A
+from .base import AbstractDomain
+from .values import ValueLattice
+
+
+@dataclass(frozen=True)
+class ScalarValue:
+    """Abstraction of a single (non-array) value.
+
+    ``num`` abstracts the integer values the variable may hold (booleans are
+    abstracted as 0/1); ``maybe_null`` and ``maybe_other`` record whether the
+    value may additionally be ``null`` or some non-numeric reference (a
+    record address, a string, ...).
+    """
+
+    num: Any
+    maybe_null: bool = False
+    maybe_other: bool = False
+
+    def __str__(self) -> str:
+        parts = [str(self.num)]
+        if self.maybe_null:
+            parts.append("null?")
+        if self.maybe_other:
+            parts.append("ref?")
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class ArraySummary:
+    """Abstraction of an array: its length and a summary of its elements."""
+
+    length: Any
+    element: ScalarValue
+
+    def __str__(self) -> str:
+        return "array(len=%s, elem=%s)" % (self.length, self.element)
+
+
+Binding = Union[ScalarValue, ArraySummary]
+
+
+@dataclass(frozen=True)
+class EnvState:
+    """An abstract environment: sorted variable bindings, or ⊥."""
+
+    bindings: Tuple[Tuple[str, Binding], ...] = ()
+    bottom: bool = False
+
+    def as_dict(self) -> Dict[str, Binding]:
+        return dict(self.bindings)
+
+    def get(self, name: str) -> Optional[Binding]:
+        for key, value in self.bindings:
+            if key == name:
+                return value
+        return None
+
+    def __str__(self) -> str:
+        if self.bottom:
+            return "⊥"
+        if not self.bindings:
+            return "⊤"
+        return ", ".join("%s↦%s" % (k, v) for k, v in self.bindings)
+
+
+def _make_state(bindings: Dict[str, Binding]) -> EnvState:
+    return EnvState(tuple(sorted(bindings.items(), key=lambda kv: kv[0])))
+
+
+class ValueEnvDomain(AbstractDomain[EnvState]):
+    """The non-relational environment domain over a pluggable value lattice."""
+
+    def __init__(self, lattice: ValueLattice) -> None:
+        self.lattice = lattice
+        self.name = "%s-env" % lattice.name
+
+    # -- scalar helpers ----------------------------------------------------------
+
+    def _top_scalar(self) -> ScalarValue:
+        return ScalarValue(self.lattice.top(), True, True)
+
+    def _num_scalar(self, num: Any) -> ScalarValue:
+        return ScalarValue(num, False, False)
+
+    def _null_scalar(self) -> ScalarValue:
+        return ScalarValue(self.lattice.bottom(), True, False)
+
+    def _other_scalar(self) -> ScalarValue:
+        return ScalarValue(self.lattice.bottom(), False, True)
+
+    def _bool_scalar(self) -> ScalarValue:
+        return self._num_scalar(
+            self.lattice.join(self.lattice.from_const(0), self.lattice.from_const(1)))
+
+    def _scalar_is_bottom(self, value: ScalarValue) -> bool:
+        return (self.lattice.is_bottom(value.num)
+                and not value.maybe_null and not value.maybe_other)
+
+    def _join_scalar(self, a: ScalarValue, b: ScalarValue, widen: bool = False) -> ScalarValue:
+        combine = self.lattice.widen if widen else self.lattice.join
+        return ScalarValue(combine(a.num, b.num),
+                           a.maybe_null or b.maybe_null,
+                           a.maybe_other or b.maybe_other)
+
+    def _leq_scalar(self, a: ScalarValue, b: ScalarValue) -> bool:
+        return (self.lattice.leq(a.num, b.num)
+                and (not a.maybe_null or b.maybe_null)
+                and (not a.maybe_other or b.maybe_other))
+
+    def _join_binding(self, a: Binding, b: Binding, widen: bool = False) -> Optional[Binding]:
+        if isinstance(a, ScalarValue) and isinstance(b, ScalarValue):
+            return self._join_scalar(a, b, widen)
+        if isinstance(a, ArraySummary) and isinstance(b, ArraySummary):
+            combine = self.lattice.widen if widen else self.lattice.join
+            return ArraySummary(combine(a.length, b.length),
+                                self._join_scalar(a.element, b.element, widen))
+        return None  # incompatible kinds: drop to ⊤
+
+    # -- the AbstractDomain interface ----------------------------------------------
+
+    def bottom(self) -> EnvState:
+        return EnvState(bottom=True)
+
+    def initial(self, params: Sequence[str] = ()) -> EnvState:
+        # Parameters are unconstrained at entry, which is exactly the empty
+        # binding map (unbound = ⊤).
+        return EnvState()
+
+    def is_bottom(self, state: EnvState) -> bool:
+        return state.bottom
+
+    def join(self, left: EnvState, right: EnvState) -> EnvState:
+        return self._combine(left, right, widen=False)
+
+    def widen(self, older: EnvState, newer: EnvState) -> EnvState:
+        return self._combine(older, newer, widen=True)
+
+    def _combine(self, left: EnvState, right: EnvState, widen: bool) -> EnvState:
+        if left.bottom:
+            return right
+        if right.bottom:
+            return left
+        left_map, right_map = left.as_dict(), right.as_dict()
+        out: Dict[str, Binding] = {}
+        for name in left_map.keys() & right_map.keys():
+            combined = self._join_binding(left_map[name], right_map[name], widen)
+            if combined is not None:
+                out[name] = combined
+        return _make_state(out)
+
+    def leq(self, left: EnvState, right: EnvState) -> bool:
+        if left.bottom:
+            return True
+        if right.bottom:
+            return False
+        left_map = left.as_dict()
+        for name, right_value in right.bindings:
+            left_value = left_map.get(name)
+            if left_value is None:
+                return False
+            if isinstance(right_value, ScalarValue):
+                if not isinstance(left_value, ScalarValue):
+                    return False
+                if not self._leq_scalar(left_value, right_value):
+                    return False
+            else:
+                if not isinstance(left_value, ArraySummary):
+                    return False
+                if not self.lattice.leq(left_value.length, right_value.length):
+                    return False
+                if not self._leq_scalar(left_value.element, right_value.element):
+                    return False
+        return True
+
+    def equal(self, left: EnvState, right: EnvState) -> bool:
+        return left == right
+
+    # -- expression evaluation --------------------------------------------------------
+
+    def eval(self, expr: A.Expr, state: EnvState) -> Binding:
+        """Abstractly evaluate an expression in ``state``."""
+        if state.bottom:
+            return ScalarValue(self.lattice.bottom(), False, False)
+        if isinstance(expr, A.Var):
+            binding = state.get(expr.name)
+            return binding if binding is not None else self._top_scalar()
+        if isinstance(expr, A.IntLit):
+            return self._num_scalar(self.lattice.from_const(expr.value))
+        if isinstance(expr, A.BoolLit):
+            return self._num_scalar(self.lattice.from_const(1 if expr.value else 0))
+        if isinstance(expr, A.NullLit):
+            return self._null_scalar()
+        if isinstance(expr, A.StrLit):
+            return self._other_scalar()
+        if isinstance(expr, A.AllocRecord):
+            return self._other_scalar()
+        if isinstance(expr, A.UnaryOp):
+            return self._eval_unary(expr, state)
+        if isinstance(expr, A.BinOp):
+            return self._eval_binop(expr, state)
+        if isinstance(expr, A.ArrayLit):
+            return self._eval_array_literal(expr, state)
+        if isinstance(expr, A.ArrayRead):
+            array = self.eval(expr.array, state)
+            if isinstance(array, ArraySummary):
+                return array.element
+            return self._top_scalar()
+        if isinstance(expr, A.ArrayLen):
+            array = self.eval(expr.array, state)
+            if isinstance(array, ArraySummary):
+                return self._num_scalar(array.length)
+            return self._num_scalar(self.lattice.top())
+        if isinstance(expr, A.FieldRead):
+            return self._top_scalar()
+        return self._top_scalar()
+
+    def _numeric(self, binding: Binding) -> Any:
+        """The numeric component of a binding (arrays have none)."""
+        if isinstance(binding, ScalarValue):
+            return binding.num
+        return self.lattice.bottom()
+
+    def _eval_unary(self, expr: A.UnaryOp, state: EnvState) -> ScalarValue:
+        operand = self._numeric(self.eval(expr.operand, state))
+        if expr.op == "-":
+            return self._num_scalar(self.lattice.neg(operand))
+        return self._bool_scalar()
+
+    def _eval_binop(self, expr: A.BinOp, state: EnvState) -> ScalarValue:
+        if expr.op in A.LOGICAL_OPS:
+            return self._bool_scalar()
+        left = self.eval(expr.left, state)
+        right = self.eval(expr.right, state)
+        if expr.op in A.COMPARISON_OPS:
+            verdict = None
+            if isinstance(left, ScalarValue) and isinstance(right, ScalarValue):
+                if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+                    verdict = self.lattice.compare(expr.op, left.num, right.num)
+            if verdict is True:
+                return self._num_scalar(self.lattice.from_const(1))
+            if verdict is False:
+                return self._num_scalar(self.lattice.from_const(0))
+            return self._bool_scalar()
+        left_num, right_num = self._numeric(left), self._numeric(right)
+        operations = {
+            "+": self.lattice.add,
+            "-": self.lattice.sub,
+            "*": self.lattice.mul,
+            "/": self.lattice.div,
+            "%": self.lattice.mod,
+        }
+        return self._num_scalar(operations[expr.op](left_num, right_num))
+
+    def _eval_array_literal(self, expr: A.ArrayLit, state: EnvState) -> ArraySummary:
+        element = ScalarValue(self.lattice.bottom(), False, False)
+        for item in expr.elements:
+            value = self.eval(item, state)
+            if isinstance(value, ScalarValue):
+                element = self._join_scalar(element, value)
+            else:
+                element = self._top_scalar()
+        return ArraySummary(self.lattice.from_const(len(expr.elements)), element)
+
+    # -- transfer -----------------------------------------------------------------------
+
+    def transfer(self, stmt: A.AtomicStmt, state: EnvState) -> EnvState:
+        if state.bottom:
+            return state
+        if isinstance(stmt, A.AssignStmt):
+            bindings = state.as_dict()
+            bindings[stmt.target] = self.eval(stmt.value, state)
+            return _make_state(bindings)
+        if isinstance(stmt, A.AssumeStmt):
+            return self._assume(stmt.cond, state)
+        if isinstance(stmt, A.ArrayWriteStmt):
+            return self._array_write(stmt, state)
+        if isinstance(stmt, A.FieldWriteStmt):
+            return state
+        if isinstance(stmt, (A.PrintStmt, A.SkipStmt)):
+            return state
+        if isinstance(stmt, A.CallStmt):
+            # Without the interprocedural engine the best sound answer is to
+            # havoc the target and any array arguments' contents.
+            bindings = state.as_dict()
+            if stmt.target is not None:
+                bindings.pop(stmt.target, None)
+            for arg in stmt.args:
+                if isinstance(arg, A.Var) and isinstance(bindings.get(arg.name), ArraySummary):
+                    summary = bindings[arg.name]
+                    bindings[arg.name] = ArraySummary(summary.length, self._top_scalar())
+            return _make_state(bindings)
+        return state
+
+    def _array_write(self, stmt: A.ArrayWriteStmt, state: EnvState) -> EnvState:
+        bindings = state.as_dict()
+        existing = bindings.get(stmt.array)
+        value = self.eval(stmt.value, state)
+        scalar = value if isinstance(value, ScalarValue) else self._top_scalar()
+        if isinstance(existing, ArraySummary):
+            bindings[stmt.array] = ArraySummary(
+                existing.length, self._join_scalar(existing.element, scalar))
+        # Writing through a variable that is not known to be an array leaves
+        # it unknown (⊤), which is what the absence of a binding means.
+        elif existing is not None:
+            bindings.pop(stmt.array, None)
+        return _make_state(bindings)
+
+    # -- assume refinement -----------------------------------------------------------------
+
+    def _assume(self, cond: A.Expr, state: EnvState) -> EnvState:
+        if isinstance(cond, A.BoolLit):
+            return state if cond.value else self.bottom()
+        if isinstance(cond, A.UnaryOp) and cond.op == "!":
+            return self._assume(A.negate(cond.operand), state)
+        if isinstance(cond, A.BinOp) and cond.op == "&&":
+            return self._assume(cond.right, self._assume(cond.left, state))
+        if isinstance(cond, A.BinOp) and cond.op == "||":
+            return self.join(self._assume(cond.left, state),
+                             self._assume(cond.right, state))
+        if isinstance(cond, A.BinOp) and cond.op in A.COMPARISON_OPS:
+            return self._assume_comparison(cond, state)
+        if isinstance(cond, A.Var):
+            # Truthiness: the value is neither 0 nor null nor false.
+            binding = state.get(cond.name)
+            if isinstance(binding, ScalarValue):
+                refined = ScalarValue(
+                    self.lattice.refine_ne(binding.num, self.lattice.from_const(0)),
+                    False, binding.maybe_other)
+                return self._rebind_checked(state, cond.name, refined)
+            return state
+        return state
+
+    def _assume_comparison(self, cond: A.BinOp, state: EnvState) -> EnvState:
+        left_is_null = isinstance(cond.left, A.NullLit)
+        right_is_null = isinstance(cond.right, A.NullLit)
+        if left_is_null or right_is_null:
+            other = cond.right if left_is_null else cond.left
+            return self._assume_null_test(cond.op, other, state)
+
+        left = self.eval(cond.left, state)
+        right = self.eval(cond.right, state)
+        left_num = self._numeric_or_none(left)
+        right_num = self._numeric_or_none(right)
+        if left_num is None or right_num is None:
+            return state
+
+        verdict = self.lattice.compare(cond.op, left_num, right_num)
+        if verdict is False:
+            # The comparison may still hold for null/reference values that
+            # the numeric component does not cover (only for == / !=).
+            if cond.op in ("<", "<=", ">", ">="):
+                return self.bottom()
+            if isinstance(left, ScalarValue) and isinstance(right, ScalarValue):
+                if not (left.maybe_null or left.maybe_other
+                        or right.maybe_null or right.maybe_other):
+                    return self.bottom()
+
+        refinements = {
+            "==": (self.lattice.refine_eq, self.lattice.refine_eq),
+            "!=": (self.lattice.refine_ne, self.lattice.refine_ne),
+            "<": (self.lattice.refine_lt, self.lattice.refine_gt),
+            "<=": (self.lattice.refine_le, self.lattice.refine_ge),
+            ">": (self.lattice.refine_gt, self.lattice.refine_lt),
+            ">=": (self.lattice.refine_ge, self.lattice.refine_le),
+        }
+        refine_left, refine_right = refinements[cond.op]
+        out = state
+        if isinstance(cond.left, A.Var) and isinstance(left, ScalarValue):
+            refined = ScalarValue(refine_left(left.num, right_num),
+                                  left.maybe_null and cond.op in ("==", "!="),
+                                  left.maybe_other and cond.op in ("==", "!="))
+            if cond.op in ("<", "<=", ">", ">="):
+                refined = ScalarValue(refine_left(left.num, right_num), False, False)
+            out = self._rebind_checked(out, cond.left.name, refined)
+        if isinstance(cond.right, A.Var) and isinstance(right, ScalarValue) and not out.bottom:
+            refined = ScalarValue(refine_right(right.num, left_num),
+                                  right.maybe_null and cond.op in ("==", "!="),
+                                  right.maybe_other and cond.op in ("==", "!="))
+            if cond.op in ("<", "<=", ">", ">="):
+                refined = ScalarValue(refine_right(right.num, left_num), False, False)
+            out = self._rebind_checked(out, cond.right.name, refined)
+        return out
+
+    def _assume_null_test(self, op: str, other: A.Expr, state: EnvState) -> EnvState:
+        if op not in ("==", "!="):
+            return state
+        if not isinstance(other, A.Var):
+            return state
+        binding = state.get(other.name)
+        if not isinstance(binding, ScalarValue):
+            if isinstance(binding, ArraySummary):
+                # Arrays are never null.
+                return self.bottom() if op == "==" else state
+            return state
+        if op == "==":
+            if not binding.maybe_null:
+                return self.bottom()
+            return self._rebind_checked(state, other.name, self._null_scalar())
+        refined = ScalarValue(binding.num, False, binding.maybe_other)
+        return self._rebind_checked(state, other.name, refined)
+
+    def _numeric_or_none(self, binding: Binding) -> Optional[Any]:
+        if isinstance(binding, ScalarValue):
+            return binding.num
+        return None
+
+    def _rebind_checked(self, state: EnvState, name: str, value: ScalarValue) -> EnvState:
+        if self._scalar_is_bottom(value):
+            return self.bottom()
+        bindings = state.as_dict()
+        bindings[name] = value
+        return _make_state(bindings)
+
+    # -- concretization ---------------------------------------------------------------------
+
+    def models(self, concrete: ConcreteState, abstract: EnvState) -> bool:
+        if abstract.bottom:
+            return False
+        for name, binding in abstract.bindings:
+            if name not in concrete.env:
+                continue
+            if not self._value_models(concrete.env[name], binding):
+                return False
+        return True
+
+    def _value_models(self, value: Any, binding: Binding) -> bool:
+        if isinstance(binding, ArraySummary):
+            if not isinstance(value, ArrayValue):
+                return False
+            if not self.lattice.contains(binding.length, len(value)):
+                return False
+            return all(self._value_models(v, binding.element) for v in value.elements)
+        if isinstance(value, bool):
+            return self.lattice.contains(binding.num, 1 if value else 0)
+        if isinstance(value, int):
+            return self.lattice.contains(binding.num, value)
+        if value is None:
+            return binding.maybe_null
+        return binding.maybe_other
+
+    # -- interprocedural hooks ----------------------------------------------------------------
+
+    def call_entry(
+        self,
+        caller_state: EnvState,
+        callee_params: Sequence[str],
+        args: Sequence[A.Expr],
+    ) -> EnvState:
+        if caller_state.bottom:
+            return self.bottom()
+        bindings: Dict[str, Binding] = {}
+        for param, arg in zip(callee_params, args):
+            bindings[param] = self.eval(arg, caller_state)
+        return _make_state(bindings)
+
+    def call_return(
+        self,
+        caller_state: EnvState,
+        callee_exit: EnvState,
+        target: Optional[str],
+        args: Sequence[A.Expr] = (),
+    ) -> EnvState:
+        if caller_state.bottom or callee_exit.bottom:
+            return self.bottom()
+        bindings = caller_state.as_dict()
+        # The callee may have written through array arguments (reference
+        # semantics), so weaken their element summaries.
+        for arg in args:
+            if isinstance(arg, A.Var) and isinstance(bindings.get(arg.name), ArraySummary):
+                summary = bindings[arg.name]
+                bindings[arg.name] = ArraySummary(summary.length, self._top_scalar())
+        if target is not None:
+            result = callee_exit.get(A.RETURN_VARIABLE)
+            if result is None:
+                bindings.pop(target, None)
+            else:
+                bindings[target] = result
+        return _make_state(bindings)
+
+    # -- client helpers -----------------------------------------------------------------------
+
+    def numeric_bounds(self, expr: A.Expr, state: EnvState) -> Tuple[Optional[int], Optional[int]]:
+        """Bounds of an expression's numeric value (for the safety clients)."""
+        value = self.eval(expr, state)
+        if isinstance(value, ScalarValue):
+            return self.lattice.bounds(value.num)
+        return (None, None)
+
+    def array_length_bounds(self, expr: A.Expr, state: EnvState) -> Tuple[Optional[int], Optional[int]]:
+        """Bounds of the length of an array-valued expression."""
+        value = self.eval(expr, state)
+        if isinstance(value, ArraySummary):
+            return self.lattice.bounds(value.length)
+        return (None, None)
+
+    def describe(self, state: EnvState) -> str:
+        return str(state)

@@ -1,0 +1,551 @@
+"""The octagon abstract domain (Miné), used by the Section 7.3 workload.
+
+Octagons represent conjunctions of constraints of the form ``±x ± y <= c``.
+The paper uses an APRON-backed octagon domain; this reproduction implements
+the standard difference-bound-matrix (DBM) encoding directly (with numpy for
+the cubic closure), exposing it through the same generic domain interface as
+every other domain, so the DAIG framework is oblivious to the change.
+
+Representation: for a variable universe ``x_0 .. x_{n-1}`` the DBM has
+``2n`` rows/columns, where index ``2k`` stands for ``+x_k`` and ``2k+1`` for
+``-x_k``; entry ``m[i, j]`` bounds ``V_i - V_j <= m[i, j]``.  States are
+kept *closed* (canonical) at all times, so structural equality of the
+matrices coincides with semantic equality — which is exactly what the
+demanded-unrolling convergence check needs.
+
+The variable universe is dynamic: operations on states with different
+variable sets first unify them (new variables are unconstrained), which is
+what allows the synthetic edit workload to introduce fresh variables at any
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..concrete.state import ArrayValue, ConcreteState
+from ..lang import ast as A
+from .base import AbstractDomain
+
+_INF = float("inf")
+
+
+class OctagonState:
+    """An octagon: a variable tuple plus a closed DBM (or canonical ⊥)."""
+
+    __slots__ = ("variables", "matrix", "is_bottom", "_hash")
+
+    def __init__(
+        self,
+        variables: Tuple[str, ...],
+        matrix: Optional[np.ndarray],
+        is_bottom: bool = False,
+    ) -> None:
+        self.variables = variables
+        self.matrix = matrix
+        self.is_bottom = is_bottom
+        self._hash: Optional[int] = None
+
+    # -- equality / hashing (canonical closed form) -----------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OctagonState):
+            return NotImplemented
+        if self.is_bottom and other.is_bottom:
+            return True
+        if self.is_bottom != other.is_bottom:
+            return False
+        if self.variables != other.variables:
+            return False
+        assert self.matrix is not None and other.matrix is not None
+        return bool(np.array_equal(self.matrix, other.matrix))
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            if self.is_bottom:
+                self._hash = hash(("octagon", "bottom"))
+            else:
+                assert self.matrix is not None
+                self._hash = hash(("octagon", self.variables, self.matrix.tobytes()))
+        return self._hash
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        constraints = []
+        for name in self.variables:
+            lo, hi = self.variable_bounds(name)
+            if lo is None and hi is None:
+                continue
+            lo_text = "-inf" if lo is None else str(lo)
+            hi_text = "+inf" if hi is None else str(hi)
+            constraints.append("%s∈[%s,%s]" % (name, lo_text, hi_text))
+        return "{" + ", ".join(constraints) + "}" if constraints else "⊤"
+
+    def index(self, name: str) -> int:
+        return self.variables.index(name)
+
+    def variable_bounds(self, name: str) -> Tuple[Optional[int], Optional[int]]:
+        """The interval implied for ``name`` by the octagon constraints."""
+        if self.is_bottom or name not in self.variables:
+            return (0, -1) if self.is_bottom else (None, None)
+        assert self.matrix is not None
+        k = self.index(name)
+        hi_bound = self.matrix[2 * k, 2 * k + 1]
+        lo_bound = self.matrix[2 * k + 1, 2 * k]
+        hi = None if hi_bound == _INF else int(np.floor(hi_bound / 2.0))
+        lo = None if lo_bound == _INF else int(-np.floor(lo_bound / 2.0))
+        return (lo, hi)
+
+
+def _close(matrix: np.ndarray) -> Optional[np.ndarray]:
+    """Shortest-path closure plus octagonal strengthening.
+
+    Returns the closed matrix, or ``None`` if the constraint system is
+    infeasible (a negative cycle exists).
+    """
+    m = matrix.copy()
+    size = m.shape[0]
+    np.fill_diagonal(m, 0.0)
+    for k in range(size):
+        np.minimum(m, m[:, k:k + 1] + m[k:k + 1, :], out=m)
+    # Strengthening: m[i,j] = min(m[i,j], (m[i, i^1] + m[j^1, j]) / 2)
+    bar = np.arange(size) ^ 1
+    half = (m[np.arange(size), bar][:, None] + m[bar, np.arange(size)][None, :]) / 2.0
+    np.minimum(m, half, out=m)
+    if np.any(np.diag(m) < 0):
+        return None
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class OctagonDomain(AbstractDomain[OctagonState]):
+    """The octagon domain behind the generic abstract-interpreter interface."""
+
+    name = "octagon"
+
+    # -- construction helpers ------------------------------------------------------
+
+    def top(self, variables: Sequence[str] = ()) -> OctagonState:
+        names = tuple(sorted(set(variables)))
+        size = 2 * len(names)
+        return OctagonState(names, np.full((size, size), _INF), False)
+
+    def bottom(self) -> OctagonState:
+        return OctagonState((), None, True)
+
+    def initial(self, params: Sequence[str] = ()) -> OctagonState:
+        return self.top(params)
+
+    def is_bottom(self, state: OctagonState) -> bool:
+        return state.is_bottom
+
+    def _closed(self, variables: Tuple[str, ...], matrix: np.ndarray) -> OctagonState:
+        closed = _close(matrix)
+        if closed is None:
+            return self.bottom()
+        return OctagonState(variables, closed, False)
+
+    def _unify(
+        self, left: OctagonState, right: OctagonState
+    ) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray]:
+        names = tuple(sorted(set(left.variables) | set(right.variables)))
+        return names, self._expand(left, names), self._expand(right, names)
+
+    def _expand(self, state: OctagonState, names: Tuple[str, ...]) -> np.ndarray:
+        size = 2 * len(names)
+        out = np.full((size, size), _INF)
+        np.fill_diagonal(out, 0.0)
+        if state.matrix is None:
+            return out
+        positions = []
+        for old_index, name in enumerate(state.variables):
+            new_index = names.index(name)
+            positions.append((2 * old_index, 2 * new_index))
+            positions.append((2 * old_index + 1, 2 * new_index + 1))
+        for old_i, new_i in positions:
+            for old_j, new_j in positions:
+                out[new_i, new_j] = state.matrix[old_i, old_j]
+        return out
+
+    # -- lattice ---------------------------------------------------------------------
+
+    def join(self, left: OctagonState, right: OctagonState) -> OctagonState:
+        if left.is_bottom:
+            return right
+        if right.is_bottom:
+            return left
+        names, a, b = self._unify(left, right)
+        return self._closed(names, np.maximum(a, b))
+
+    def widen(self, older: OctagonState, newer: OctagonState) -> OctagonState:
+        if older.is_bottom:
+            return newer
+        if newer.is_bottom:
+            return older
+        names, a, b = self._unify(older, newer)
+        widened = np.where(b <= a, a, _INF)
+        np.fill_diagonal(widened, 0.0)
+        # The widening result is deliberately *not* re-closed: closing a
+        # widened DBM can re-tighten entries and defeat convergence (the
+        # standard octagon-widening caveat).  Structural equality therefore
+        # does not coincide with semantic equality for widened states, so
+        # `equal` falls back to a double ⊑ check.
+        return OctagonState(names, widened, False)
+
+    def leq(self, left: OctagonState, right: OctagonState) -> bool:
+        if left.is_bottom:
+            return True
+        if right.is_bottom:
+            return False
+        names, a, b = self._unify(left, right)
+        return bool(np.all(a <= b))
+
+    def equal(self, left: OctagonState, right: OctagonState) -> bool:
+        return left == right or (self.leq(left, right) and self.leq(right, left))
+
+    # -- linear forms -------------------------------------------------------------------
+
+    def _linear_form(
+        self, expr: A.Expr
+    ) -> Optional[Tuple[Dict[str, int], int]]:
+        """Try to view ``expr`` as ``sum(coeff_i * x_i) + constant``.
+
+        Only coefficient magnitudes 0/1 with at most two variables are useful
+        to an octagon, but the caller filters; return ``None`` for anything
+        non-linear or non-numeric.
+        """
+        if isinstance(expr, A.IntLit):
+            return {}, expr.value
+        if isinstance(expr, A.BoolLit):
+            return {}, 1 if expr.value else 0
+        if isinstance(expr, A.Var):
+            return {expr.name: 1}, 0
+        if isinstance(expr, A.UnaryOp) and expr.op == "-":
+            inner = self._linear_form(expr.operand)
+            if inner is None:
+                return None
+            coeffs, constant = inner
+            return {name: -c for name, c in coeffs.items()}, -constant
+        if isinstance(expr, A.BinOp) and expr.op in ("+", "-"):
+            left = self._linear_form(expr.left)
+            right = self._linear_form(expr.right)
+            if left is None or right is None:
+                return None
+            sign = 1 if expr.op == "+" else -1
+            coeffs = dict(left[0])
+            for name, coeff in right[0].items():
+                coeffs[name] = coeffs.get(name, 0) + sign * coeff
+            coeffs = {name: c for name, c in coeffs.items() if c != 0}
+            return coeffs, left[1] + sign * right[1]
+        if isinstance(expr, A.BinOp) and expr.op == "*":
+            left = self._linear_form(expr.left)
+            right = self._linear_form(expr.right)
+            if left is None or right is None:
+                return None
+            if not left[0]:
+                factor = left[1]
+                coeffs = {n: c * factor for n, c in right[0].items() if c * factor != 0}
+                return coeffs, right[1] * factor
+            if not right[0]:
+                factor = right[1]
+                coeffs = {n: c * factor for n, c in left[0].items() if c * factor != 0}
+                return coeffs, left[1] * factor
+            return None
+        return None
+
+    def _expr_bounds(
+        self, expr: A.Expr, state: OctagonState
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """Interval bounds of an arbitrary expression, via variable bounds."""
+        form = self._linear_form(expr)
+        if form is not None:
+            coeffs, constant = form
+            lo: Optional[float] = float(constant)
+            hi: Optional[float] = float(constant)
+            for name, coeff in coeffs.items():
+                var_lo, var_hi = state.variable_bounds(name)
+                if coeff >= 0:
+                    term_lo = None if var_lo is None else coeff * var_lo
+                    term_hi = None if var_hi is None else coeff * var_hi
+                else:
+                    term_lo = None if var_hi is None else coeff * var_hi
+                    term_hi = None if var_lo is None else coeff * var_lo
+                lo = None if lo is None or term_lo is None else lo + term_lo
+                hi = None if hi is None or term_hi is None else hi + term_hi
+            return lo, hi
+        if isinstance(expr, A.BinOp) and expr.op in A.COMPARISON_OPS + A.LOGICAL_OPS:
+            return 0.0, 1.0
+        if isinstance(expr, A.UnaryOp) and expr.op == "!":
+            return 0.0, 1.0
+        return None, None
+
+    # -- transfer --------------------------------------------------------------------------
+
+    def transfer(self, stmt: A.AtomicStmt, state: OctagonState) -> OctagonState:
+        if state.is_bottom:
+            return state
+        if isinstance(stmt, A.AssignStmt):
+            return self._assign(stmt.target, stmt.value, state)
+        if isinstance(stmt, A.AssumeStmt):
+            return self._assume(stmt.cond, state)
+        if isinstance(stmt, A.ArrayWriteStmt):
+            return state
+        if isinstance(stmt, (A.FieldWriteStmt, A.PrintStmt, A.SkipStmt)):
+            return state
+        if isinstance(stmt, A.CallStmt):
+            if stmt.target is None:
+                return state
+            return self._forget(stmt.target, state)
+        return state
+
+    def _with_variable(self, state: OctagonState, name: str) -> OctagonState:
+        if name in state.variables:
+            return state
+        names = tuple(sorted(set(state.variables) | {name}))
+        return OctagonState(names, self._expand(state, names), False)
+
+    def _forget(self, name: str, state: OctagonState) -> OctagonState:
+        state = self._with_variable(state, name)
+        assert state.matrix is not None
+        matrix = state.matrix.copy()
+        k = state.index(name)
+        matrix[2 * k, :] = _INF
+        matrix[2 * k + 1, :] = _INF
+        matrix[:, 2 * k] = _INF
+        matrix[:, 2 * k + 1] = _INF
+        matrix[2 * k, 2 * k] = 0.0
+        matrix[2 * k + 1, 2 * k + 1] = 0.0
+        return OctagonState(state.variables, matrix, False)
+
+    def _assign(self, target: str, value: A.Expr, state: OctagonState) -> OctagonState:
+        lo, hi = self._expr_bounds(value, state)
+        form = self._linear_form(value)
+        # Invertible self-assignments x = x + c translate existing constraints.
+        if (form is not None and list(form[0].items()) == [(target, 1)]
+                and target in state.variables):
+            assert state.matrix is not None
+            matrix = state.matrix.copy()
+            k = state.index(target)
+            constant = float(form[1])
+            # x := x + c translates every constraint mentioning x: bounds on
+            # +x grow by c (row 2k / column 2k+1) and bounds on -x shrink by
+            # c (row 2k+1 / column 2k); entries touched by both a modified
+            # row and column shift by 2c, which is exactly right for the
+            # unary constraints 2x <= b and -2x <= b.
+            matrix[2 * k, :] += constant
+            matrix[:, 2 * k] -= constant
+            matrix[2 * k + 1, :] -= constant
+            matrix[:, 2 * k + 1] += constant
+            matrix[2 * k, 2 * k] = 0.0
+            matrix[2 * k + 1, 2 * k + 1] = 0.0
+            return self._closed(state.variables, matrix)
+
+        out = self._forget(target, state)
+        assert out.matrix is not None
+        matrix = out.matrix.copy()
+        k = out.index(target)
+        if hi is not None:
+            matrix[2 * k, 2 * k + 1] = min(matrix[2 * k, 2 * k + 1], 2 * hi)
+        if lo is not None:
+            matrix[2 * k + 1, 2 * k] = min(matrix[2 * k + 1, 2 * k], -2 * lo)
+        # Relational constraints for x = ±y + c with a single other variable.
+        if form is not None:
+            coeffs, constant = form
+            others = [(n, c) for n, c in coeffs.items() if n != target]
+            if len(others) == 1 and target not in coeffs:
+                other, coeff = others[0]
+                if coeff in (1, -1) and other in out.variables:
+                    j = out.index(other)
+                    if coeff == 1:
+                        # x - y <= c and y - x <= -c
+                        matrix[2 * k, 2 * j] = min(matrix[2 * k, 2 * j], constant)
+                        matrix[2 * j + 1, 2 * k + 1] = min(
+                            matrix[2 * j + 1, 2 * k + 1], constant)
+                        matrix[2 * j, 2 * k] = min(matrix[2 * j, 2 * k], -constant)
+                        matrix[2 * k + 1, 2 * j + 1] = min(
+                            matrix[2 * k + 1, 2 * j + 1], -constant)
+                    else:
+                        # x + y <= c and -x - y <= -c
+                        matrix[2 * k, 2 * j + 1] = min(matrix[2 * k, 2 * j + 1], constant)
+                        matrix[2 * j, 2 * k + 1] = min(matrix[2 * j, 2 * k + 1], constant)
+                        matrix[2 * k + 1, 2 * j] = min(matrix[2 * k + 1, 2 * j], -constant)
+                        matrix[2 * j + 1, 2 * k] = min(matrix[2 * j + 1, 2 * k], -constant)
+        return self._closed(out.variables, matrix)
+
+    # -- assume ------------------------------------------------------------------------------
+
+    def _assume(self, cond: A.Expr, state: OctagonState) -> OctagonState:
+        if isinstance(cond, A.BoolLit):
+            return state if cond.value else self.bottom()
+        if isinstance(cond, A.UnaryOp) and cond.op == "!":
+            return self._assume(A.negate(cond.operand), state)
+        if isinstance(cond, A.BinOp) and cond.op == "&&":
+            return self._assume(cond.right, self._assume(cond.left, state))
+        if isinstance(cond, A.BinOp) and cond.op == "||":
+            return self.join(self._assume(cond.left, state),
+                             self._assume(cond.right, state))
+        if isinstance(cond, A.BinOp) and cond.op in A.COMPARISON_OPS:
+            return self._assume_comparison(cond, state)
+        return state
+
+    def _assume_comparison(self, cond: A.BinOp, state: OctagonState) -> OctagonState:
+        # Null / reference comparisons carry no octagonal information.
+        if isinstance(cond.left, A.NullLit) or isinstance(cond.right, A.NullLit):
+            return state
+        left = self._linear_form(cond.left)
+        right = self._linear_form(cond.right)
+        if left is None or right is None:
+            return state
+        # Normalize to sum(coeffs) <= constant form(s).
+        coeffs: Dict[str, int] = dict(left[0])
+        for name, coeff in right[0].items():
+            coeffs[name] = coeffs.get(name, 0) - coeff
+        coeffs = {name: c for name, c in coeffs.items() if c != 0}
+        constant = right[1] - left[1]
+        op = cond.op
+        if op == ">":
+            coeffs = {n: -c for n, c in coeffs.items()}
+            constant, op = -constant, "<"
+        elif op == ">=":
+            coeffs = {n: -c for n, c in coeffs.items()}
+            constant, op = -constant, "<="
+        if op == "<":
+            constant -= 1
+            op = "<="
+        if op == "<=":
+            return self._add_upper_bound(coeffs, constant, state)
+        if op == "==":
+            first = self._add_upper_bound(coeffs, constant, state)
+            negated = {n: -c for n, c in coeffs.items()}
+            return self._add_upper_bound(negated, -constant, first)
+        if op == "!=":
+            return state
+        return state
+
+    def _add_upper_bound(
+        self, coeffs: Dict[str, int], constant: int, state: OctagonState
+    ) -> OctagonState:
+        """Add the constraint ``sum(coeff_i * x_i) <= constant`` if octagonal."""
+        if state.is_bottom:
+            return state
+        if not coeffs:
+            return state if 0 <= constant else self.bottom()
+        if any(abs(c) != 1 for c in coeffs.values()) or len(coeffs) > 2:
+            return state
+        for name in coeffs:
+            state = self._with_variable(state, name)
+        assert state.matrix is not None
+        matrix = state.matrix.copy()
+        items = sorted(coeffs.items())
+        bound = float(constant)
+        if len(items) == 1:
+            (name, coeff), = items
+            k = state.index(name)
+            if coeff == 1:
+                matrix[2 * k, 2 * k + 1] = min(matrix[2 * k, 2 * k + 1], 2 * bound)
+            else:
+                matrix[2 * k + 1, 2 * k] = min(matrix[2 * k + 1, 2 * k], 2 * bound)
+        else:
+            (name_a, coeff_a), (name_b, coeff_b) = items
+            i, j = state.index(name_a), state.index(name_b)
+            if coeff_a == 1 and coeff_b == -1:
+                matrix[2 * i, 2 * j] = min(matrix[2 * i, 2 * j], bound)
+                matrix[2 * j + 1, 2 * i + 1] = min(matrix[2 * j + 1, 2 * i + 1], bound)
+            elif coeff_a == -1 and coeff_b == 1:
+                matrix[2 * j, 2 * i] = min(matrix[2 * j, 2 * i], bound)
+                matrix[2 * i + 1, 2 * j + 1] = min(matrix[2 * i + 1, 2 * j + 1], bound)
+            elif coeff_a == 1 and coeff_b == 1:
+                matrix[2 * i, 2 * j + 1] = min(matrix[2 * i, 2 * j + 1], bound)
+                matrix[2 * j, 2 * i + 1] = min(matrix[2 * j, 2 * i + 1], bound)
+            else:
+                matrix[2 * i + 1, 2 * j] = min(matrix[2 * i + 1, 2 * j], bound)
+                matrix[2 * j + 1, 2 * i] = min(matrix[2 * j + 1, 2 * i], bound)
+        return self._closed(state.variables, matrix)
+
+    # -- concretization -----------------------------------------------------------------------
+
+    def models(self, concrete: ConcreteState, abstract: OctagonState) -> bool:
+        if abstract.is_bottom:
+            return False
+        assert abstract.matrix is not None
+
+        def value_of(index: int) -> Optional[float]:
+            name = abstract.variables[index // 2]
+            if name not in concrete.env:
+                return None
+            value = concrete.env[name]
+            if isinstance(value, bool):
+                value = 1 if value else 0
+            if not isinstance(value, int):
+                return None
+            return float(value) if index % 2 == 0 else -float(value)
+
+        size = abstract.matrix.shape[0]
+        for i in range(size):
+            vi = value_of(i)
+            for j in range(size):
+                bound = abstract.matrix[i, j]
+                if bound == _INF:
+                    continue
+                vj = value_of(j)
+                if vi is None or vj is None:
+                    # The concretization only constrains numeric values:
+                    # constraints mentioning a variable whose runtime value
+                    # is null, an array, or a record hold vacuously (the
+                    # transfer functions establish relational constraints
+                    # only along paths where the values are numeric).
+                    continue
+                if vi - vj > bound + 1e-9:
+                    return False
+        return True
+
+    # -- interprocedural hooks ------------------------------------------------------------------
+
+    def call_entry(
+        self,
+        caller_state: OctagonState,
+        callee_params: Sequence[str],
+        args: Sequence[A.Expr],
+    ) -> OctagonState:
+        entry = self.top(callee_params)
+        if caller_state.is_bottom:
+            return self.bottom()
+        assert entry.matrix is not None
+        matrix = entry.matrix.copy()
+        for param, arg in zip(callee_params, args):
+            lo, hi = self._expr_bounds(arg, caller_state)
+            k = entry.index(param)
+            if hi is not None:
+                matrix[2 * k, 2 * k + 1] = 2 * hi
+            if lo is not None:
+                matrix[2 * k + 1, 2 * k] = -2 * lo
+        return self._closed(entry.variables, matrix)
+
+    def call_return(
+        self,
+        caller_state: OctagonState,
+        callee_exit: OctagonState,
+        target: Optional[str],
+        args: Sequence[A.Expr] = (),
+    ) -> OctagonState:
+        if caller_state.is_bottom or callee_exit.is_bottom:
+            return self.bottom()
+        if target is None:
+            return caller_state
+        out = self._forget(target, caller_state)
+        assert out.matrix is not None
+        lo, hi = callee_exit.variable_bounds(A.RETURN_VARIABLE)
+        matrix = out.matrix.copy()
+        k = out.index(target)
+        if hi is not None:
+            matrix[2 * k, 2 * k + 1] = min(matrix[2 * k, 2 * k + 1], 2.0 * hi)
+        if lo is not None:
+            matrix[2 * k + 1, 2 * k] = min(matrix[2 * k + 1, 2 * k], -2.0 * lo)
+        return self._closed(out.variables, matrix)
+
+    def variable_bounds(self, state: OctagonState, name: str) -> Tuple[Optional[int], Optional[int]]:
+        """Interval bounds the octagon implies for ``name`` (client helper)."""
+        return state.variable_bounds(name)

@@ -1,0 +1,15 @@
+"""Separation-logic shape analysis for singly-linked lists."""
+
+from .heap import NIL, CanonicalHeap, ListSeg, PointsTo, SymbolicHeap
+from .domain import MAX_DISJUNCTS, ShapeDomain, ShapeState
+
+__all__ = [
+    "NIL",
+    "CanonicalHeap",
+    "ListSeg",
+    "PointsTo",
+    "SymbolicHeap",
+    "MAX_DISJUNCTS",
+    "ShapeDomain",
+    "ShapeState",
+]

@@ -1,0 +1,458 @@
+"""The separation-logic shape domain for singly-linked lists (Section 7.2).
+
+An abstract state is a finite *disjunction* of symbolic heaps
+(:class:`~repro.domains.shape.heap.SymbolicHeap`).  The initial state for a
+procedure assumes, as the paper does for ``append``, that every parameter is
+a well-formed (acyclic, null-terminated) list: ``lseg(p, null)`` for each
+parameter ``p``.
+
+Transfer functions materialize ``next`` fields on demand (unfolding
+segments, recording potential null-dereference faults), update cells with a
+strong update, and re-abstract after every step so that loop invariants
+converge.  Join and widening take the union of disjuncts, deduplicate via
+canonical forms, and cap the number of disjuncts (collapsing the remainder
+to a heap-agnostic summary) so that widening terminates.
+
+This domain is exactly the kind of instantiation the paper argues previous
+incremental/demand-driven frameworks cannot express: the lattice has
+unbounded height, there is no best abstraction, and the join/widen operators
+are implemented with rewriting rather than a pointwise lattice product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ...concrete.state import Address, ConcreteState
+from ...lang import ast as A
+from ..base import AbstractDomain
+from .heap import NIL, CanonicalHeap, ListSeg, PointsTo, Sym, SymbolicHeap
+
+#: Maximum number of disjuncts kept per abstract state.
+MAX_DISJUNCTS = 8
+
+
+class ShapeState:
+    """A finite disjunction of symbolic heaps (empty disjunction = ⊥)."""
+
+    __slots__ = ("disjuncts", "_canonical")
+
+    def __init__(self, disjuncts: Sequence[SymbolicHeap] = ()) -> None:
+        self.disjuncts: Tuple[SymbolicHeap, ...] = tuple(disjuncts)
+        self._canonical: Optional[FrozenSet[CanonicalHeap]] = None
+
+    def canonical(self) -> FrozenSet[CanonicalHeap]:
+        if self._canonical is None:
+            self._canonical = frozenset(d.canonical() for d in self.disjuncts)
+        return self._canonical
+
+    def is_bottom(self) -> bool:
+        return not self.disjuncts
+
+    def faults(self) -> FrozenSet[str]:
+        out: set = set()
+        for disjunct in self.disjuncts:
+            out |= disjunct.faults
+        return frozenset(out)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShapeState):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return "⊥"
+        return " ∨ ".join(str(d) for d in self.disjuncts)
+
+
+class ShapeDomain(AbstractDomain[ShapeState]):
+    """The list shape domain behind the generic abstract-interpreter interface."""
+
+    name = "shape"
+
+    def __init__(self, max_disjuncts: int = MAX_DISJUNCTS) -> None:
+        self.max_disjuncts = max_disjuncts
+
+    # -- lattice -------------------------------------------------------------------
+
+    def bottom(self) -> ShapeState:
+        return ShapeState(())
+
+    def initial(self, params: Sequence[str] = ()) -> ShapeState:
+        heap = SymbolicHeap()
+        for param in params:
+            sym = heap.fresh()
+            heap.env[param] = sym
+            heap.lsegs.add(ListSeg(sym, NIL))
+        return ShapeState((heap.abstract(),))
+
+    def is_bottom(self, state: ShapeState) -> bool:
+        return state.is_bottom()
+
+    def _dedupe(
+        self, disjuncts: Sequence[SymbolicHeap], mode: str = "transfer"
+    ) -> ShapeState:
+        """Normalize, deduplicate, and bound a list of disjuncts.
+
+        ``mode`` selects how much folding is applied: transfer results are
+        only normalized (materialized cells and the pure facts recorded on
+        them must survive until the next join), joins fold anonymous cells,
+        and widenings fold every cell back into segments so that loop
+        invariants stabilize.
+        """
+        kept: List[SymbolicHeap] = []
+        seen: set = set()
+        for disjunct in disjuncts:
+            if disjunct.is_inconsistent():
+                continue
+            if mode == "transfer":
+                processed = disjunct.normalize()
+            else:
+                processed = disjunct.abstract(aggressive=(mode == "widen"))
+            key = processed.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(processed)
+        if len(kept) > self.max_disjuncts:
+            kept = self._collapse(kept)
+        return ShapeState(tuple(kept))
+
+    def _collapse(self, disjuncts: List[SymbolicHeap]) -> List[SymbolicHeap]:
+        """Collapse excess disjuncts into a heap-agnostic summary."""
+        kept = disjuncts[: self.max_disjuncts - 1]
+        summary = SymbolicHeap()
+        faults: set = set()
+        names: set = set()
+        for disjunct in disjuncts[self.max_disjuncts - 1:]:
+            faults |= disjunct.faults
+            names |= set(disjunct.env)
+        for name in sorted(names):
+            summary.env[name] = summary.fresh()
+        summary.faults = faults
+        kept.append(summary)
+        return kept
+
+    def join(self, left: ShapeState, right: ShapeState) -> ShapeState:
+        return self._dedupe(
+            tuple(left.disjuncts) + tuple(right.disjuncts), mode="join")
+
+    def widen(self, older: ShapeState, newer: ShapeState) -> ShapeState:
+        # Widening applies the aggressive folding (every points-to weakened
+        # to a segment) so that list-traversal loop invariants stabilize
+        # after one abstract iteration, as reported in Section 7.2.
+        return self._dedupe(
+            tuple(older.disjuncts) + tuple(newer.disjuncts), mode="widen")
+
+    def leq(self, left: ShapeState, right: ShapeState) -> bool:
+        right_keys = right.canonical()
+        right_has_summary = any(
+            not d.points_to and not d.lsegs and not d.disequalities
+            for d in right.disjuncts)
+        for disjunct in left.disjuncts:
+            key = disjunct.abstract().canonical()
+            if key in right_keys:
+                continue
+            if right_has_summary and set(disjunct.faults) <= set(right.faults()):
+                continue
+            return False
+        return True
+
+    def equal(self, left: ShapeState, right: ShapeState) -> bool:
+        return left == right
+
+    # -- expression values ------------------------------------------------------------
+
+    def _value_of(self, expr: A.Expr, heap: SymbolicHeap) -> Sym:
+        """The symbolic value of a pointer expression (fresh if unknown)."""
+        if isinstance(expr, A.NullLit):
+            return NIL
+        if isinstance(expr, A.Var):
+            if expr.name not in heap.env:
+                heap.env[expr.name] = heap.fresh()
+            return heap.env[expr.name]
+        return heap.fresh()
+
+    # -- transfer -----------------------------------------------------------------------
+
+    def transfer(self, stmt: A.AtomicStmt, state: ShapeState) -> ShapeState:
+        out: List[SymbolicHeap] = []
+        for disjunct in state.disjuncts:
+            out.extend(self._transfer_disjunct(stmt, disjunct.copy()))
+        return self._dedupe(out)
+
+    def _transfer_disjunct(
+        self, stmt: A.AtomicStmt, heap: SymbolicHeap
+    ) -> List[SymbolicHeap]:
+        if isinstance(stmt, A.AssignStmt):
+            return self._assign(stmt.target, stmt.value, heap)
+        if isinstance(stmt, A.AssumeStmt):
+            return self._assume(stmt.cond, heap)
+        if isinstance(stmt, A.FieldWriteStmt):
+            return self._field_write(stmt, heap)
+        if isinstance(stmt, (A.PrintStmt, A.SkipStmt, A.ArrayWriteStmt)):
+            return [heap]
+        if isinstance(stmt, A.CallStmt):
+            if stmt.target is not None:
+                heap.env[stmt.target] = heap.fresh()
+            return [heap]
+        return [heap]
+
+    def _assign(self, target: str, value: A.Expr, heap: SymbolicHeap) -> List[SymbolicHeap]:
+        if isinstance(value, A.NullLit):
+            heap.env[target] = NIL
+            return [heap]
+        if isinstance(value, A.Var):
+            heap.env[target] = self._value_of(value, heap)
+            return [heap]
+        if isinstance(value, A.AllocRecord):
+            fresh = heap.fresh()
+            heap.points_to.add(PointsTo(fresh, NIL))
+            heap.disequalities.add((NIL, fresh))
+            heap.env[target] = fresh
+            return [heap]
+        if isinstance(value, A.FieldRead):
+            return self._field_read(target, value, heap)
+        # Scalar (numeric, boolean, array, ...) values carry no shape
+        # information: bind the target to a fresh unconstrained symbol.
+        heap.env[target] = heap.fresh()
+        return [heap]
+
+    def _field_read(
+        self, target: str, value: A.FieldRead, heap: SymbolicHeap
+    ) -> List[SymbolicHeap]:
+        base = self._value_of(value.base, heap)
+        if value.fieldname != "next":
+            # Data fields are not tracked; only the null-dereference check
+            # matters for memory safety.
+            survivors = self._check_non_null(base, value, heap)
+            for survivor in survivors:
+                survivor.env[target] = survivor.fresh()
+            return survivors
+        out: List[SymbolicHeap] = []
+        fault_message = "possible null dereference: %s" % (value,)
+        faulted_cases = 0
+        for case, next_sym in heap.materialize_next(base):
+            if next_sym is None:
+                faulted_cases += 1
+                continue
+            case.env[target] = next_sym
+            out.append(case)
+        if faulted_cases:
+            # The dereference may fault on some concrete states; the fault is
+            # recorded on every surviving disjunct so it reaches the exit.
+            for case in out:
+                case.faults.add(fault_message)
+        if not out:
+            faulted = heap.copy()
+            faulted.faults.add(fault_message)
+            faulted.env[target] = faulted.fresh()
+            out.append(faulted)
+        return out
+
+    def _check_non_null(
+        self, base: Sym, expr: A.Expr, heap: SymbolicHeap
+    ) -> List[SymbolicHeap]:
+        if heap.must_differ(base, NIL):
+            return [heap]
+        if heap.must_equal(base, NIL):
+            heap.faults.add("possible null dereference: %s" % (expr,))
+            return [heap]
+        heap.faults.add("possible null dereference: %s" % (expr,))
+        heap.disequalities.add((NIL, base))
+        return [heap]
+
+    def _field_write(self, stmt: A.FieldWriteStmt, heap: SymbolicHeap) -> List[SymbolicHeap]:
+        base = self._value_of(A.Var(stmt.base), heap)
+        if stmt.fieldname != "next":
+            return self._check_non_null(base, stmt, heap)
+        new_value = self._value_of(stmt.value, heap)
+        out: List[SymbolicHeap] = []
+        for case, _old in heap.materialize_next(base):
+            rep = case.rep(base)
+            if case.next_of(rep) is None:
+                case.faults.add("possible null dereference: %s" % (stmt,))
+                continue
+            # Strong update: replace the materialized cell's successor.
+            case.points_to = {
+                p for p in case.points_to if case.rep(p.src) != rep}
+            case.points_to.add(PointsTo(rep, new_value))
+            out.append(case)
+        faulting = [case for case, nxt in heap.materialize_next(base) if nxt is None]
+        if faulting and not out:
+            fallback = heap.copy()
+            fallback.faults.add("possible null dereference: %s" % (stmt,))
+            out.append(fallback)
+        elif faulting:
+            for case in out:
+                case.faults.add("possible null dereference: %s" % (stmt,))
+        return out
+
+    # -- assume ---------------------------------------------------------------------------
+
+    def _assume(self, cond: A.Expr, heap: SymbolicHeap) -> List[SymbolicHeap]:
+        if isinstance(cond, A.BoolLit):
+            return [heap] if cond.value else []
+        if isinstance(cond, A.UnaryOp) and cond.op == "!":
+            return self._assume(A.negate(cond.operand), heap)
+        if isinstance(cond, A.BinOp) and cond.op == "&&":
+            out: List[SymbolicHeap] = []
+            for case in self._assume(cond.left, heap):
+                out.extend(self._assume(cond.right, case))
+            return out
+        if isinstance(cond, A.BinOp) and cond.op == "||":
+            return (self._assume(cond.left, heap.copy())
+                    + self._assume(cond.right, heap.copy()))
+        if isinstance(cond, A.BinOp) and cond.op in ("==", "!="):
+            return self._assume_equality(cond, heap)
+        # Arithmetic comparisons and truthiness tests over data values carry
+        # no shape information.
+        return [heap]
+
+    def _pointer_cases(
+        self, expr: A.Expr, heap: SymbolicHeap
+    ) -> List[Tuple[SymbolicHeap, Optional[Sym]]]:
+        """Evaluate a pointer expression, materializing ``.next`` reads."""
+        if isinstance(expr, (A.NullLit, A.Var)):
+            return [(heap, self._value_of(expr, heap))]
+        if isinstance(expr, A.FieldRead) and expr.fieldname == "next":
+            base = self._value_of(expr.base, heap)
+            out: List[Tuple[SymbolicHeap, Optional[Sym]]] = []
+            for case, next_sym in heap.materialize_next(base):
+                if next_sym is None:
+                    case.faults.add("possible null dereference: %s" % (expr,))
+                    out.append((case, None))
+                else:
+                    out.append((case, next_sym))
+            return out
+        return [(heap, None)]
+
+    def _assume_equality(self, cond: A.BinOp, heap: SymbolicHeap) -> List[SymbolicHeap]:
+        pointerish = any(
+            isinstance(side, (A.NullLit, A.FieldRead))
+            or (isinstance(side, A.Var))
+            for side in (cond.left, cond.right))
+        if not pointerish:
+            return [heap]
+        out: List[SymbolicHeap] = []
+        for left_case, left_sym in self._pointer_cases(cond.left, heap.copy()):
+            if left_sym is None and not isinstance(cond.left, (A.NullLit, A.Var)):
+                # Faulting or non-pointer left operand: no refinement.
+                if left_case.faults - heap.faults:
+                    out.append(left_case)
+                    continue
+            for case, right_sym in self._pointer_cases(
+                    cond.right, left_case.copy()):
+                if left_sym is None or right_sym is None:
+                    out.append(case)
+                    continue
+                if cond.op == "==":
+                    if case.must_differ(left_sym, right_sym):
+                        continue
+                    case.equalities.add((left_sym, right_sym))
+                    normalized = case.normalize()
+                    if not normalized.is_inconsistent():
+                        out.append(normalized)
+                else:
+                    if case.must_equal(left_sym, right_sym):
+                        continue
+                    case.disequalities.add(
+                        (min(left_sym, right_sym), max(left_sym, right_sym)))
+                    if not case.is_inconsistent():
+                        out.append(case)
+        return out
+
+    # -- concretization --------------------------------------------------------------------
+
+    def models(self, concrete: ConcreteState, abstract: ShapeState) -> bool:
+        if abstract.is_bottom():
+            return False
+        return any(self._heap_models(concrete, d) for d in abstract.disjuncts)
+
+    def _heap_models(self, concrete: ConcreteState, heap: SymbolicHeap) -> bool:
+        normalized = heap.normalize()
+        assignment: Dict[Sym, object] = {NIL: None}
+        for name, sym in normalized.env.items():
+            if name not in concrete.env:
+                continue
+            value = concrete.env[name]
+            if sym in assignment and assignment[sym] != value:
+                return False
+            assignment[sym] = value
+        for a, b in normalized.disequalities:
+            if a in assignment and b in assignment and assignment[a] == assignment[b]:
+                return False
+        for atom in normalized.points_to:
+            if atom.src not in assignment:
+                continue
+            source = assignment[atom.src]
+            if not isinstance(source, Address):
+                return False
+            actual = concrete.heap.get(source, {}).get("next", None)
+            if atom.dst in assignment and assignment[atom.dst] != actual:
+                return False
+        for seg in normalized.lsegs:
+            if seg.src not in assignment or seg.dst not in assignment:
+                continue
+            if not self._reaches(concrete, assignment[seg.src], assignment[seg.dst]):
+                return False
+        return True
+
+    def _reaches(self, concrete: ConcreteState, start: object, end: object) -> bool:
+        current = start
+        for _ in range(len(concrete.heap) + 1):
+            if current == end:
+                return True
+            if not isinstance(current, Address):
+                return False
+            current = concrete.heap.get(current, {}).get("next", None)
+        return current == end
+
+    # -- interprocedural hooks ----------------------------------------------------------------
+
+    def call_entry(
+        self,
+        caller_state: ShapeState,
+        callee_params: Sequence[str],
+        args: Sequence[A.Expr],
+    ) -> ShapeState:
+        # The coarse (but sound, given the loose concretization) choice: the
+        # callee sees well-formed lists for its parameters.
+        return self.initial(callee_params)
+
+    def call_return(
+        self,
+        caller_state: ShapeState,
+        callee_exit: ShapeState,
+        target: Optional[str],
+        args: Sequence[A.Expr] = (),
+    ) -> ShapeState:
+        if target is None:
+            return caller_state
+        out: List[SymbolicHeap] = []
+        for disjunct in caller_state.disjuncts:
+            updated = disjunct.copy()
+            updated.env[target] = updated.fresh()
+            out.append(updated)
+        return self._dedupe(out)
+
+    # -- client helpers --------------------------------------------------------------------------
+
+    def verifies_wellformed(self, state: ShapeState, variable: str) -> bool:
+        """Whether every disjunct proves ``lseg(variable, null)``."""
+        if state.is_bottom():
+            return True
+        for disjunct in state.disjuncts:
+            normalized = disjunct.normalize()
+            if variable not in normalized.env:
+                return False
+            if not normalized.entails_lseg(normalized.env[variable], NIL):
+                return False
+        return True
+
+    def describe(self, state: ShapeState) -> str:
+        return str(state)

@@ -1,0 +1,23 @@
+"""The sign abstract domain: a finite-height sanity-check instantiation.
+
+Sign analysis terminates without widening, which makes it useful for
+differential testing of the DAIG machinery: any divergence between demanded
+and batch results over the sign domain is a framework bug rather than a
+widening subtlety.
+"""
+
+from __future__ import annotations
+
+from .nonrel import ValueEnvDomain
+from .values import SignLattice
+
+
+class SignDomain(ValueEnvDomain):
+    """Sign analysis over abstract environments."""
+
+    def __init__(self) -> None:
+        super().__init__(SignLattice())
+        self.name = "sign"
+
+
+__all__ = ["SignDomain", "SignLattice"]

@@ -1,0 +1,25 @@
+"""Context-sensitive interprocedural demanded analysis (Section 7.1)."""
+
+from .callgraph import CallGraph, RecursionError_
+from .context import (
+    ENTRY_CONTEXT,
+    CallStringSensitive,
+    Context,
+    ContextInsensitive,
+    ContextPolicy,
+    policy_by_name,
+)
+from .engine import InterproceduralEngine, ProcedureKey
+
+__all__ = [
+    "CallGraph",
+    "RecursionError_",
+    "ENTRY_CONTEXT",
+    "CallStringSensitive",
+    "Context",
+    "ContextInsensitive",
+    "ContextPolicy",
+    "policy_by_name",
+    "InterproceduralEngine",
+    "ProcedureKey",
+]

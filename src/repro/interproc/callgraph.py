@@ -1,0 +1,91 @@
+"""Static call graphs for the non-recursive, statically-dispatched language.
+
+The paper's implementation "supports context-sensitive analysis of
+non-recursive programs with static calling semantics (i.e., no virtual
+dispatch or higher-order functions)"; call targets are therefore syntactic.
+This module builds the call graph from the CFGs, checks the non-recursion
+restriction, and computes the set of procedures reachable from the entry
+point (used by the verification clients to know which code is analyzed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..lang import ast as A
+from ..lang.cfg import Cfg
+
+
+class RecursionError_(Exception):
+    """Raised when the program contains (mutually) recursive calls."""
+
+
+class CallGraph:
+    """Caller → callee edges derived syntactically from call statements."""
+
+    def __init__(self, cfgs: Dict[str, Cfg]) -> None:
+        self.cfgs = cfgs
+        self.edges: Dict[str, Set[str]] = {name: set() for name in cfgs}
+        self.call_sites: Dict[str, List[Tuple[int, A.CallStmt]]] = {
+            name: [] for name in cfgs}
+        for name, cfg in cfgs.items():
+            for edge in cfg.edges:
+                if isinstance(edge.stmt, A.CallStmt):
+                    self.call_sites[name].append((edge.src, edge.stmt))
+                    if edge.stmt.function in cfgs:
+                        self.edges[name].add(edge.stmt.function)
+
+    def callees(self, name: str) -> Set[str]:
+        return set(self.edges.get(name, set()))
+
+    def callers(self, name: str) -> Set[str]:
+        return {caller for caller, callees in self.edges.items() if name in callees}
+
+    def reachable_from(self, entry: str) -> Set[str]:
+        """Procedures transitively reachable from ``entry`` (including it)."""
+        seen: Set[str] = set()
+        frontier = [entry]
+        while frontier:
+            current = frontier.pop()
+            if current in seen or current not in self.cfgs:
+                continue
+            seen.add(current)
+            frontier.extend(self.edges.get(current, set()))
+        return seen
+
+    def check_nonrecursive(self) -> None:
+        """Raise :class:`RecursionError_` if the call graph has a cycle."""
+        state: Dict[str, int] = {}
+
+        def visit(node: str, stack: List[str]) -> None:
+            state[node] = 1
+            for callee in sorted(self.edges.get(node, set())):
+                if state.get(callee, 0) == 1:
+                    raise RecursionError_(
+                        "recursive call cycle: %s -> %s"
+                        % (" -> ".join(stack + [node]), callee))
+                if state.get(callee, 0) == 0:
+                    visit(callee, stack + [node])
+            state[node] = 2
+
+        for name in sorted(self.cfgs):
+            if state.get(name, 0) == 0:
+                visit(name, [])
+
+    def topological_order(self) -> List[str]:
+        """Callees-before-callers order (useful for bottom-up summaries)."""
+        self.check_nonrecursive()
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in visited:
+                return
+            visited.add(node)
+            for callee in sorted(self.edges.get(node, set())):
+                visit(callee)
+            order.append(node)
+
+        for name in sorted(self.cfgs):
+            visit(name)
+        return order

@@ -1,0 +1,201 @@
+"""Context-sensitive interprocedural demanded abstract interpretation.
+
+Following Section 7.1 of the paper: a DAIG is constructed per *(procedure,
+context)* pair, on demand.  Initially only the entry procedure's DAIG (in
+the entry context) exists; when a query reaches the abstract state after a
+call, the engine constructs (or reuses) the callee's DAIG in the context
+chosen by the context-sensitivity policy, seeds its entry state from the
+caller's state at the call site, demands the callee's exit state, and maps
+it back into the caller through the domain's ``call_return`` hook.
+
+Edits to a procedure are applied to every existing DAIG of that procedure
+and then propagated to (transitive) callers by dirtying the cells downstream
+of the affected call sites — the interprocedural analogue of the
+E-Propagate rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..daig.edit import dirty_forward
+from ..daig.engine import DaigEngine
+from ..daig.memo import MemoTable
+from ..domains.base import AbstractDomain
+from ..lang import ast as A
+from ..lang.cfg import Cfg, Loc
+from .callgraph import CallGraph
+from .context import ENTRY_CONTEXT, Context, ContextInsensitive, ContextPolicy
+
+ProcedureKey = Tuple[str, Context]
+
+
+class InterproceduralEngine:
+    """One DAIG per (procedure, context), built and evaluated on demand."""
+
+    def __init__(
+        self,
+        cfgs: Dict[str, Cfg],
+        domain: AbstractDomain,
+        policy: Optional[ContextPolicy] = None,
+        entry: str = "main",
+        share_memo: bool = True,
+    ) -> None:
+        if entry not in cfgs:
+            raise KeyError("no procedure named %r" % (entry,))
+        self.cfgs = cfgs
+        self.domain = domain
+        self.policy = policy if policy is not None else ContextInsensitive()
+        self.entry = entry
+        self.callgraph = CallGraph(cfgs)
+        self.callgraph.check_nonrecursive()
+        self.memo: Optional[MemoTable] = MemoTable() if share_memo else None
+        self.engines: Dict[ProcedureKey, DaigEngine] = {}
+        self.entry_states: Dict[ProcedureKey, Any] = {}
+        #: callee key -> caller keys whose results depend on it.
+        self.dependents: Dict[ProcedureKey, Set[ProcedureKey]] = {}
+        self._engine_for(entry, ENTRY_CONTEXT, domain.initial(cfgs[entry].params))
+
+    # -- engine management ---------------------------------------------------------
+
+    def _engine_for(self, name: str, context: Context, entry_state: Any) -> DaigEngine:
+        key = (name, context)
+        if key in self.engines:
+            return self.engines[key]
+        cfg = self.cfgs[name].copy()
+        engine = DaigEngine(
+            cfg,
+            self.domain,
+            memo=self.memo if self.memo is not None else MemoTable(),
+            entry_state=entry_state,
+            call_transfer=self._make_call_transfer(key),
+        )
+        self.engines[key] = engine
+        self.entry_states[key] = entry_state
+        return engine
+
+    def _make_call_transfer(self, caller_key: ProcedureKey) -> Callable[[A.CallStmt, Any], Any]:
+        def call_transfer(stmt: A.CallStmt, state: Any) -> Any:
+            return self._analyze_call(caller_key, stmt, state)
+        return call_transfer
+
+    def _analyze_call(self, caller_key: ProcedureKey, stmt: A.CallStmt, state: Any) -> Any:
+        callee = stmt.function
+        if callee not in self.cfgs:
+            # Unknown (external) callee: fall back to the domain's own
+            # intraprocedural havoc semantics.
+            return self.domain.transfer(stmt, state)
+        caller_name, caller_context = caller_key
+        context = self.policy.callee_context(caller_context, (caller_name, stmt))
+        callee_cfg = self.cfgs[callee]
+        entry_state = self.domain.call_entry(state, callee_cfg.params, stmt.args)
+        callee_key = (callee, context)
+        engine = self._engine_for(callee, context, entry_state)
+        # Widen the callee's entry state to cover this call site if needed.
+        current = self.entry_states[callee_key]
+        if not self.domain.leq(entry_state, current):
+            merged = self.domain.join(current, entry_state)
+            self.entry_states[callee_key] = merged
+            engine.set_entry_state(merged)
+        self.dependents.setdefault(callee_key, set()).add(caller_key)
+        callee_exit = engine.query_exit()
+        return self.domain.call_return(state, callee_exit, stmt.target, stmt.args)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query(self, procedure: str, loc: Loc, context: Context = ENTRY_CONTEXT) -> Any:
+        """The invariant at ``loc`` of ``procedure`` in a specific context."""
+        key = (procedure, context)
+        if key not in self.engines:
+            if procedure == self.entry and context == ENTRY_CONTEXT:
+                pass
+            elif context == ENTRY_CONTEXT and procedure != self.entry:
+                # Analyzing a procedure with no known callers: start from the
+                # domain's own initial state, as the paper's implementation
+                # does for queries in not-yet-analyzed functions.
+                self._engine_for(procedure, context,
+                                 self.domain.initial(self.cfgs[procedure].params))
+            else:
+                raise KeyError("no analysis exists for %r in context %r"
+                               % (procedure, context))
+        return self.engines[key].query_location(loc)
+
+    def query_entry_exit(self) -> Any:
+        """The abstract state at the entry procedure's exit."""
+        return self.query(self.entry, self.cfgs[self.entry].exit)
+
+    def analyze_everything(self) -> Dict[ProcedureKey, Dict[Loc, Any]]:
+        """Exhaustively evaluate every constructed (procedure, context) DAIG.
+
+        The entry procedure is fully analyzed first, which constructs callee
+        DAIGs on demand; the loop then keeps evaluating until no new
+        (procedure, context) pairs appear.
+        """
+        results: Dict[ProcedureKey, Dict[Loc, Any]] = {}
+        pending = True
+        while pending:
+            pending = False
+            for key in list(self.engines):
+                if key not in results:
+                    results[key] = self.engines[key].query_all()
+                    pending = True
+        return results
+
+    def contexts_of(self, procedure: str) -> List[Context]:
+        """All contexts in which ``procedure`` has been analyzed."""
+        return [context for (name, context) in self.engines if name == procedure]
+
+    # -- edits -----------------------------------------------------------------------
+
+    def edit_procedure(
+        self,
+        procedure: str,
+        edit: Callable[[DaigEngine], None],
+    ) -> None:
+        """Apply ``edit`` to every analysis of ``procedure`` and propagate.
+
+        ``edit`` receives each (procedure, context) engine in turn; after the
+        edit, every transitive caller has the cells downstream of its call
+        sites to ``procedure`` dirtied, so stale summaries are recomputed on
+        the next query (lazily, exactly like intraprocedural dirtying).
+        """
+        touched: List[ProcedureKey] = []
+        for key, engine in self.engines.items():
+            if key[0] == procedure:
+                edit(engine)
+                touched.append(key)
+        # Also keep the master CFG in sync for future engine constructions.
+        if touched:
+            self.cfgs[procedure] = self.engines[touched[0]].cfg
+            self.callgraph = CallGraph(self.cfgs)
+            self.callgraph.check_nonrecursive()
+        self._dirty_callers_of(procedure)
+
+    def _dirty_callers_of(self, procedure: str, seen: Optional[Set[str]] = None) -> None:
+        seen = seen if seen is not None else set()
+        if procedure in seen:
+            return
+        seen.add(procedure)
+        for caller_key, engine in self.engines.items():
+            caller_name = caller_key[0]
+            call_cells = [
+                name for name in engine.daig.refs
+                if name.kind == "stmt" and engine.daig.has_value(name)
+                and isinstance(engine.daig.value(name), A.CallStmt)
+                and engine.daig.value(name).function == procedure
+            ]
+            if not call_cells:
+                continue
+            dirty_forward(engine.daig, engine.builder, call_cells)
+            self._dirty_callers_of(caller_name, seen)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def total_stats(self) -> Dict[str, int]:
+        """Aggregate query statistics over every constructed DAIG."""
+        totals: Dict[str, int] = {}
+        for engine in self.engines.values():
+            for key, value in engine.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        totals["daigs"] = len(self.engines)
+        return totals

@@ -1,0 +1,24 @@
+"""Language frontend: AST, parser, control-flow graphs, and subject programs."""
+
+from . import ast
+from .ast import Procedure, Program
+from .cfg import Cfg, CfgBuilder, CfgEdge, IrreducibleCfgError, build_cfg, build_program_cfgs
+from .parser import ParseError, parse_expression, parse_procedure, parse_program
+from . import programs
+
+__all__ = [
+    "ast",
+    "Procedure",
+    "Program",
+    "Cfg",
+    "CfgBuilder",
+    "CfgEdge",
+    "IrreducibleCfgError",
+    "build_cfg",
+    "build_program_cfgs",
+    "ParseError",
+    "parse_expression",
+    "parse_procedure",
+    "parse_program",
+    "programs",
+]

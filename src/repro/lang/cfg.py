@@ -1,0 +1,622 @@
+"""Control-flow graphs: the program representation analyzed by the framework.
+
+Following Section 3 of the paper, a program is a triple ``⟨L, E, l0⟩`` of
+control locations, directed statement-labelled edges, and an initial
+location.  This module provides:
+
+* :class:`Cfg` — the graph itself, with the structural analyses the DAIG
+  construction of Section 4 / Appendix A needs: dominators, the partition of
+  edges into *forward* and *back* edges, natural loops, loop nesting, join
+  points (forward in-degree >= 2) and the per-location indexing of incoming
+  forward edges (``fwd-edges-to``).
+* :class:`CfgBuilder` — lowering of structured ASTs (:mod:`repro.lang.ast`)
+  into CFGs, splitting branch conditions into ``assume`` edges exactly as the
+  paper does for Fig. 2.
+* Structural *edit* operations (insert a statement / conditional / loop after
+  a location, replace an edge's statement, delete an edge) with stable
+  location identity, which is what makes fine-grained incremental reuse
+  possible across program versions.
+
+Locations are small integers; fresh locations are always allocated from a
+monotonically increasing counter so that edits never recycle a location name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from . import ast as A
+
+Loc = int
+
+
+@dataclass(frozen=True)
+class CfgEdge:
+    """A directed control-flow edge ``src --[stmt]--> dst``."""
+
+    src: Loc
+    stmt: A.AtomicStmt
+    dst: Loc
+
+    def __str__(self) -> str:
+        return "%d --[%s]--> %d" % (self.src, self.stmt, self.dst)
+
+
+class IrreducibleCfgError(Exception):
+    """Raised when a CFG is not reducible (violates the paper's assumption)."""
+
+
+class Cfg:
+    """A statement-labelled control-flow graph for a single procedure.
+
+    The graph is mutable (edits arrive as the developer types) but all derived
+    structural information (dominators, loops, join points, ...) is computed
+    lazily and invalidated whenever the graph changes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        entry: Loc = 0,
+        exit_loc: Loc = 1,
+    ) -> None:
+        self.name = name
+        self.params: Tuple[str, ...] = tuple(params)
+        self.entry: Loc = entry
+        self.exit: Loc = exit_loc
+        self.locations: Set[Loc] = {entry, exit_loc}
+        self.edges: List[CfgEdge] = []
+        self._next_loc: Loc = max(entry, exit_loc) + 1
+        self._analysis: Optional[_CfgAnalysis] = None
+
+    # -- construction -------------------------------------------------------
+
+    def fresh_loc(self) -> Loc:
+        """Allocate a new, never-before-used location."""
+        loc = self._next_loc
+        self._next_loc += 1
+        self.locations.add(loc)
+        self._invalidate()
+        return loc
+
+    def add_edge(self, src: Loc, stmt: A.AtomicStmt, dst: Loc) -> CfgEdge:
+        """Add the edge ``src --[stmt]--> dst`` (locations must exist)."""
+        if src not in self.locations or dst not in self.locations:
+            raise ValueError("edge endpoints must be existing locations")
+        edge = CfgEdge(src, stmt, dst)
+        self.edges.append(edge)
+        self._invalidate()
+        return edge
+
+    def remove_edge(self, edge: CfgEdge) -> None:
+        self.edges.remove(edge)
+        self._invalidate()
+
+    def copy(self) -> "Cfg":
+        """Return an independent copy sharing no mutable state."""
+        dup = Cfg(self.name, self.params, self.entry, self.exit)
+        dup.locations = set(self.locations)
+        dup.edges = list(self.edges)
+        dup._next_loc = self._next_loc
+        return dup
+
+    def _invalidate(self) -> None:
+        self._analysis = None
+
+    # -- basic queries -------------------------------------------------------
+
+    def out_edges(self, loc: Loc) -> List[CfgEdge]:
+        return [e for e in self.edges if e.src == loc]
+
+    def in_edges(self, loc: Loc) -> List[CfgEdge]:
+        return [e for e in self.edges if e.dst == loc]
+
+    def successors(self, loc: Loc) -> List[Loc]:
+        return [e.dst for e in self.out_edges(loc)]
+
+    def predecessors(self, loc: Loc) -> List[Loc]:
+        return [e.src for e in self.in_edges(loc)]
+
+    def statements(self) -> List[A.AtomicStmt]:
+        return [e.stmt for e in self.edges]
+
+    def size(self) -> int:
+        """Number of statement edges — the "program size" axis of Fig. 10."""
+        return len(self.edges)
+
+    def variables(self) -> Set[str]:
+        """All variable names mentioned anywhere in the procedure."""
+        out: Set[str] = set(self.params)
+        out.add(A.RETURN_VARIABLE)
+        for edge in self.edges:
+            out |= set(edge.stmt.variables())
+        return out
+
+    # -- structural analyses -------------------------------------------------
+
+    def _analyze(self) -> "_CfgAnalysis":
+        if self._analysis is None:
+            self._analysis = _CfgAnalysis(self)
+        return self._analysis
+
+    def reachable_locations(self) -> Set[Loc]:
+        return self._analyze().reachable
+
+    def dominators(self) -> Dict[Loc, Set[Loc]]:
+        """Map each reachable location to the set of its dominators."""
+        return self._analyze().dominators
+
+    def dominates(self, a: Loc, b: Loc) -> bool:
+        return a in self._analyze().dominators.get(b, set())
+
+    def back_edges(self) -> List[CfgEdge]:
+        """Edges ``u --> v`` where ``v`` dominates ``u`` (loop back edges)."""
+        return self._analyze().back_edges
+
+    def forward_edges(self) -> List[CfgEdge]:
+        return self._analyze().forward_edges
+
+    def is_back_edge(self, edge: CfgEdge) -> bool:
+        return edge in set(self._analyze().back_edges)
+
+    def loop_heads(self) -> List[Loc]:
+        """Destinations of back edges, in a deterministic order."""
+        return self._analyze().loop_heads
+
+    def natural_loop(self, head: Loc) -> Set[Loc]:
+        """The natural loop (body location set, including ``head``) of a head."""
+        return self._analyze().natural_loops.get(head, set())
+
+    def containing_loop_heads(self, loc: Loc) -> Tuple[Loc, ...]:
+        """Loop heads whose natural loop contains ``loc``, outermost first."""
+        return self._analyze().containing.get(loc, ())
+
+    def in_any_loop(self, loc: Loc) -> bool:
+        return bool(self.containing_loop_heads(loc))
+
+    def join_points(self) -> Set[Loc]:
+        """Locations with forward in-degree >= 2 (the paper's ``L⊔``)."""
+        return self._analyze().join_points
+
+    def fwd_edges_to(self, loc: Loc) -> List[Tuple[int, CfgEdge]]:
+        """Incoming *forward* edges of ``loc``, paired with 1-based indices.
+
+        The indices are what disambiguate the pre-join reference cells
+        ``i·n_ℓ`` in the DAIG encoding of control-flow joins.
+        """
+        return self._analyze().fwd_edges_to.get(loc, [])
+
+    def back_edges_to(self, loc: Loc) -> List[CfgEdge]:
+        return [e for e in self._analyze().back_edges if e.dst == loc]
+
+    def reverse_postorder(self) -> List[Loc]:
+        """Reverse postorder over forward edges (a topological order)."""
+        return self._analyze().reverse_postorder
+
+    def check_reducible(self) -> None:
+        """Raise :class:`IrreducibleCfgError` if the graph is irreducible."""
+        self._analyze().check_reducible()
+
+    def is_reducible(self) -> bool:
+        try:
+            self.check_reducible()
+            return True
+        except IrreducibleCfgError:
+            return False
+
+    # -- edits ----------------------------------------------------------------
+
+    def replace_edge_statement(self, edge: CfgEdge, stmt: A.AtomicStmt) -> CfgEdge:
+        """Replace the statement labelling an existing edge (in-place edit)."""
+        if edge not in self.edges:
+            raise ValueError("edge not in CFG: %s" % (edge,))
+        new_edge = CfgEdge(edge.src, stmt, edge.dst)
+        self.edges[self.edges.index(edge)] = new_edge
+        self._invalidate()
+        return new_edge
+
+    def delete_edge_statement(self, edge: CfgEdge) -> CfgEdge:
+        """Delete a statement by replacing it with ``skip`` (paper, Lemma B.2)."""
+        return self.replace_edge_statement(edge, A.SkipStmt())
+
+    def _detach_continuation(self, loc: Loc) -> Loc:
+        """Create a continuation location taking over ``loc``'s out-edges.
+
+        Every statement insertion works by splicing new structure between
+        ``loc`` and the returned continuation location.
+
+        When ``loc`` is a loop head, only the edges that stay inside its
+        natural loop are moved: the loop-exit edge keeps originating at the
+        head, preserving the invariant — relied upon by the DAIG encoding of
+        back edges (Fig. 7) — that control leaves a loop only through its
+        head.  The inserted code therefore runs on every iteration, which is
+        what "inserting just inside the loop" means.
+        """
+        moved = self.out_edges(loc)
+        if loc in self.loop_heads():
+            loop = self.natural_loop(loc)
+            moved = [edge for edge in moved if edge.dst in loop]
+        cont = self.fresh_loc()
+        for edge in moved:
+            self.edges[self.edges.index(edge)] = CfgEdge(cont, edge.stmt, edge.dst)
+        self._invalidate()
+        return cont
+
+    def insert_statement_after(self, loc: Loc, stmt: A.AtomicStmt) -> Loc:
+        """Insert a single atomic statement immediately after ``loc``.
+
+        Returns the newly created continuation location.
+        """
+        self._require_insertion_point(loc)
+        cont = self._detach_continuation(loc)
+        self.add_edge(loc, stmt, cont)
+        return cont
+
+    def insert_conditional_after(
+        self,
+        loc: Loc,
+        cond: A.Expr,
+        then_stmts: Sequence[A.AtomicStmt],
+        else_stmts: Sequence[A.AtomicStmt] = (),
+    ) -> Loc:
+        """Insert ``if (cond) { then } else { else }`` after ``loc``."""
+        self._require_insertion_point(loc)
+        cont = self._detach_continuation(loc)
+        self._build_branch(loc, A.AssumeStmt(cond), then_stmts, cont)
+        self._build_branch(loc, A.AssumeStmt(A.negate(cond)), else_stmts, cont)
+        return cont
+
+    def insert_loop_after(
+        self,
+        loc: Loc,
+        cond: A.Expr,
+        body_stmts: Sequence[A.AtomicStmt],
+    ) -> Loc:
+        """Insert ``while (cond) { body }`` after ``loc``.
+
+        A fresh loop head is always created so that no location ever becomes
+        the head of two distinct loops (keeping one back edge per head, as the
+        paper assumes for reducible CFGs).
+        """
+        self._require_insertion_point(loc)
+        cont = self._detach_continuation(loc)
+        head = self.fresh_loc()
+        self.add_edge(loc, A.SkipStmt(), head)
+        self.add_edge(head, A.AssumeStmt(A.negate(cond)), cont)
+        # Loop body: head --assume(cond)--> ... --last--> head (back edge).
+        body = list(body_stmts) if body_stmts else [A.SkipStmt()]
+        current = head
+        current_stmt: A.AtomicStmt = A.AssumeStmt(cond)
+        for stmt in body:
+            nxt = self.fresh_loc()
+            self.add_edge(current, current_stmt, nxt)
+            current, current_stmt = nxt, stmt
+        self.add_edge(current, current_stmt, head)
+        return cont
+
+    def _build_branch(
+        self,
+        src: Loc,
+        first: A.AtomicStmt,
+        stmts: Sequence[A.AtomicStmt],
+        join: Loc,
+    ) -> None:
+        current = src
+        current_stmt = first
+        for stmt in stmts:
+            nxt = self.fresh_loc()
+            self.add_edge(current, current_stmt, nxt)
+            current, current_stmt = nxt, stmt
+        self.add_edge(current, current_stmt, join)
+
+    def _require_insertion_point(self, loc: Loc) -> None:
+        if loc not in self.locations:
+            raise ValueError("unknown location %r" % (loc,))
+        if loc == self.exit:
+            raise ValueError("cannot insert code after the exit location")
+
+    def insertion_points(self) -> List[Loc]:
+        """Locations where the edit workload may insert code."""
+        reachable = self.reachable_locations()
+        return sorted(loc for loc in reachable if loc != self.exit)
+
+    # -- misc -----------------------------------------------------------------
+
+    def pretty(self) -> str:
+        """A readable multi-line rendering of the graph."""
+        lines = ["cfg %s(%s)  entry=%d exit=%d" % (
+            self.name, ", ".join(self.params), self.entry, self.exit)]
+        for edge in sorted(self.edges, key=lambda e: (e.src, e.dst, str(e.stmt))):
+            lines.append("  %s" % (edge,))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return "Cfg(%s, %d locations, %d edges)" % (
+            self.name, len(self.locations), len(self.edges))
+
+
+class _CfgAnalysis:
+    """Derived structural facts about a CFG, recomputed after each mutation."""
+
+    def __init__(self, cfg: Cfg) -> None:
+        self.cfg = cfg
+        self.reachable = self._compute_reachable()
+        self.reverse_postorder = self._compute_reverse_postorder()
+        self.dominators = self._compute_dominators()
+        self.back_edges, self.forward_edges = self._partition_edges()
+        self.loop_heads = sorted({e.dst for e in self.back_edges})
+        self.natural_loops = {
+            head: self._compute_natural_loop(head) for head in self.loop_heads
+        }
+        self.containing = self._compute_containing()
+        self.fwd_edges_to = self._compute_fwd_edges_to()
+        self.join_points = {
+            loc for loc, edges in self.fwd_edges_to.items() if len(edges) >= 2
+        }
+
+    def _compute_reachable(self) -> Set[Loc]:
+        seen: Set[Loc] = set()
+        stack = [self.cfg.entry]
+        while stack:
+            loc = stack.pop()
+            if loc in seen:
+                continue
+            seen.add(loc)
+            for edge in self.cfg.out_edges(loc):
+                if edge.dst not in seen:
+                    stack.append(edge.dst)
+        return seen
+
+    def _compute_reverse_postorder(self) -> List[Loc]:
+        visited: Set[Loc] = set()
+        order: List[Loc] = []
+
+        def visit(loc: Loc) -> None:
+            stack: List[Tuple[Loc, List[Loc]]] = [(loc, self._ordered_successors(loc))]
+            visited.add(loc)
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                while succs:
+                    nxt = succs.pop(0)
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, self._ordered_successors(nxt)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.cfg.entry)
+        order.reverse()
+        return [loc for loc in order if loc in self.reachable]
+
+    def _ordered_successors(self, loc: Loc) -> List[Loc]:
+        return sorted({e.dst for e in self.cfg.out_edges(loc)})
+
+    def _compute_dominators(self) -> Dict[Loc, Set[Loc]]:
+        reachable = self.reachable
+        all_locs = set(reachable)
+        dom: Dict[Loc, Set[Loc]] = {loc: set(all_locs) for loc in reachable}
+        dom[self.cfg.entry] = {self.cfg.entry}
+        order = self.reverse_postorder
+        changed = True
+        while changed:
+            changed = False
+            for loc in order:
+                if loc == self.cfg.entry:
+                    continue
+                preds = [p for p in self.cfg.predecessors(loc) if p in reachable]
+                if not preds:
+                    new = {loc}
+                else:
+                    new = set(all_locs)
+                    for pred in preds:
+                        new &= dom[pred]
+                    new.add(loc)
+                if new != dom[loc]:
+                    dom[loc] = new
+                    changed = True
+        return dom
+
+    def _partition_edges(self) -> Tuple[List[CfgEdge], List[CfgEdge]]:
+        back: List[CfgEdge] = []
+        forward: List[CfgEdge] = []
+        for edge in self.cfg.edges:
+            if edge.src not in self.reachable:
+                continue
+            if edge.dst in self.dominators.get(edge.src, set()):
+                back.append(edge)
+            else:
+                forward.append(edge)
+        return back, forward
+
+    def _compute_natural_loop(self, head: Loc) -> Set[Loc]:
+        loop: Set[Loc] = {head}
+        stack: List[Loc] = []
+        for edge in self.back_edges:
+            if edge.dst == head and edge.src not in loop:
+                loop.add(edge.src)
+                stack.append(edge.src)
+        while stack:
+            loc = stack.pop()
+            for pred in self.cfg.predecessors(loc):
+                if pred not in loop and pred in self.reachable:
+                    loop.add(pred)
+                    stack.append(pred)
+        return loop
+
+    def _compute_containing(self) -> Dict[Loc, Tuple[Loc, ...]]:
+        containing: Dict[Loc, Tuple[Loc, ...]] = {}
+        for loc in self.reachable:
+            heads = [h for h in self.loop_heads if loc in self.natural_loops[h]]
+            # Order outermost-first: a head h1 is outside h2 if h2's loop is a
+            # subset of h1's loop (or h1's loop is strictly larger).
+            heads.sort(key=lambda h: (-len(self.natural_loops[h]), h))
+            containing[loc] = tuple(heads)
+        return containing
+
+    def _compute_fwd_edges_to(self) -> Dict[Loc, List[Tuple[int, CfgEdge]]]:
+        incoming: Dict[Loc, List[CfgEdge]] = {}
+        for edge in self.forward_edges:
+            incoming.setdefault(edge.dst, []).append(edge)
+        indexed: Dict[Loc, List[Tuple[int, CfgEdge]]] = {}
+        for loc, edges in incoming.items():
+            edges.sort(key=lambda e: (e.src, str(e.stmt)))
+            indexed[loc] = [(i + 1, edge) for i, edge in enumerate(edges)]
+        return indexed
+
+    def check_reducible(self) -> None:
+        """A CFG is reducible iff removing back edges leaves an acyclic graph."""
+        forward_succ: Dict[Loc, List[Loc]] = {loc: [] for loc in self.reachable}
+        for edge in self.forward_edges:
+            if edge.src in self.reachable:
+                forward_succ[edge.src].append(edge.dst)
+        state: Dict[Loc, int] = {}
+
+        def has_cycle(start: Loc) -> bool:
+            stack: List[Tuple[Loc, List[Loc]]] = [(start, list(forward_succ[start]))]
+            state[start] = 1
+            while stack:
+                node, succs = stack[-1]
+                if succs:
+                    nxt = succs.pop(0)
+                    if state.get(nxt, 0) == 1:
+                        return True
+                    if state.get(nxt, 0) == 0:
+                        state[nxt] = 1
+                        stack.append((nxt, list(forward_succ[nxt])))
+                else:
+                    state[node] = 2
+                    stack.pop()
+            return False
+
+        for loc in self.reachable:
+            if state.get(loc, 0) == 0 and has_cycle(loc):
+                raise IrreducibleCfgError(
+                    "forward edges of %s contain a cycle" % (self.cfg.name,))
+        # Additionally: every back edge destination must dominate its source,
+        # which holds by construction of the forward/back partition.
+
+
+# ---------------------------------------------------------------------------
+# Lowering structured ASTs to CFGs
+# ---------------------------------------------------------------------------
+
+
+class CfgBuilder:
+    """Lowers a structured :class:`~repro.lang.ast.Procedure` into a CFG."""
+
+    def __init__(self, procedure: A.Procedure) -> None:
+        self.procedure = procedure
+        self.cfg = Cfg(procedure.name, procedure.params)
+
+    def build(self) -> Cfg:
+        """Build and return the CFG for the procedure."""
+        end = self._lower_block(self.procedure.body, self.cfg.entry)
+        if end is not None:
+            # Implicit `return null;` when control falls off the end.
+            self.cfg.add_edge(
+                end,
+                A.AssignStmt(A.RETURN_VARIABLE, A.NullLit()),
+                self.cfg.exit,
+            )
+        self._prune_unreachable()
+        return self.cfg
+
+    # The lowering functions thread the "current location" through the block;
+    # a return value of None means control cannot fall through (a `return`
+    # was emitted on every path).
+
+    def _lower_block(
+        self, stmts: Sequence[A.Stmt], current: Loc
+    ) -> Optional[Loc]:
+        for index, stmt in enumerate(stmts):
+            nxt = self._lower_stmt(stmt, current)
+            if nxt is None:
+                return None
+            current = nxt
+        return current
+
+    def _lower_stmt(self, stmt: A.Stmt, current: Loc) -> Optional[Loc]:
+        if isinstance(stmt, A.Assign):
+            return self._chain(current, A.AssignStmt(stmt.target, stmt.value))
+        if isinstance(stmt, A.ArrayAssign):
+            return self._chain(
+                current, A.ArrayWriteStmt(stmt.array, stmt.index, stmt.value))
+        if isinstance(stmt, A.FieldAssign):
+            return self._chain(
+                current, A.FieldWriteStmt(stmt.base, stmt.fieldname, stmt.value))
+        if isinstance(stmt, A.Print):
+            return self._chain(current, A.PrintStmt(stmt.value))
+        if isinstance(stmt, A.Skip):
+            return self._chain(current, A.SkipStmt())
+        if isinstance(stmt, A.Call):
+            return self._chain(
+                current, A.CallStmt(stmt.target, stmt.function, stmt.args))
+        if isinstance(stmt, A.Return):
+            value: A.Expr = stmt.value if stmt.value is not None else A.NullLit()
+            self.cfg.add_edge(
+                current, A.AssignStmt(A.RETURN_VARIABLE, value), self.cfg.exit)
+            return None
+        if isinstance(stmt, A.If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, A.While):
+            return self._lower_while(stmt, current)
+        raise TypeError("cannot lower statement of type %s" % type(stmt).__name__)
+
+    def _chain(self, current: Loc, stmt: A.AtomicStmt) -> Loc:
+        nxt = self.cfg.fresh_loc()
+        self.cfg.add_edge(current, stmt, nxt)
+        return nxt
+
+    def _lower_if(self, stmt: A.If, current: Loc) -> Optional[Loc]:
+        join = self.cfg.fresh_loc()
+        then_entry = self._chain(current, A.AssumeStmt(stmt.cond))
+        then_end = self._lower_block(stmt.then_body, then_entry)
+        if then_end is not None:
+            self.cfg.add_edge(then_end, A.SkipStmt(), join)
+        else_entry = self._chain(current, A.AssumeStmt(A.negate(stmt.cond)))
+        else_end = self._lower_block(stmt.else_body, else_entry)
+        if else_end is not None:
+            self.cfg.add_edge(else_end, A.SkipStmt(), join)
+        if then_end is None and else_end is None:
+            return None
+        return join
+
+    def _lower_while(self, stmt: A.While, current: Loc) -> Loc:
+        head = self._chain(current, A.SkipStmt())
+        after = self.cfg.fresh_loc()
+        self.cfg.add_edge(head, A.AssumeStmt(A.negate(stmt.cond)), after)
+        body_entry = self._chain(head, A.AssumeStmt(stmt.cond))
+        body_end = self._lower_block(stmt.body, body_entry)
+        if body_end is not None:
+            self.cfg.add_edge(body_end, A.SkipStmt(), head)
+        return after
+
+    def _prune_unreachable(self) -> None:
+        reachable = self.cfg.reachable_locations()
+        reachable.add(self.cfg.exit)
+        self.cfg.edges = [
+            e for e in self.cfg.edges
+            if e.src in reachable and e.dst in reachable
+        ]
+        self.cfg.locations = {
+            loc for loc in self.cfg.locations if loc in reachable
+        }
+        self.cfg.locations.add(self.cfg.entry)
+        self.cfg.locations.add(self.cfg.exit)
+        self.cfg._invalidate()
+
+
+def build_cfg(procedure: A.Procedure) -> Cfg:
+    """Lower ``procedure`` into a control-flow graph."""
+    return CfgBuilder(procedure).build()
+
+
+def build_program_cfgs(program: A.Program) -> Dict[str, Cfg]:
+    """Lower every procedure in ``program`` into its own CFG."""
+    return {proc.name: build_cfg(proc) for proc in program.procedures}

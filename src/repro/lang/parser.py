@@ -1,0 +1,397 @@
+"""A small recursive-descent parser for the JavaScript-like subset.
+
+The paper's experiments analyze programs written in a JavaScript subset with
+assignment, arrays, conditional branching, ``while`` loops and non-recursive
+first-order calls.  This parser accepts that subset in a conventional
+curly-brace syntax, e.g.::
+
+    function append(p, q) {
+      if (p == null) { return q; }
+      var r = p;
+      while (r.next != null) { r = r.next; }
+      r.next = q;
+      return p;
+    }
+
+and produces the :mod:`repro.lang.ast` structures consumed by the CFG
+builder.  It exists so that example programs and tests can be written as
+readable source text rather than as raw AST constructors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from . import ast as A
+
+
+class ParseError(Exception):
+    """Raised on any syntax error, with a line/column position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__("%s (line %d, column %d)" % (message, line, column))
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_KEYWORDS = {
+    "function", "var", "if", "else", "while", "return",
+    "null", "true", "false", "new", "print", "skip",
+}
+
+_TOKEN_SPEC = [
+    ("WHITESPACE", r"[ \t\r\n]+"),
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("NUMBER", r"\d+"),
+    ("STRING", r'"[^"\n]*"'),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"==|!=|<=|>=|&&|\|\||[-+*/%<>=!;:,.(){}\[\]]"),
+]
+
+_TOKEN_RE = re.compile(
+    "|".join("(?P<%s>%s)" % (name, pattern) for name, pattern in _TOKEN_SPEC),
+    re.DOTALL,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split source text into tokens, dropping whitespace and comments."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                "unexpected character %r" % source[position],
+                line, position - line_start + 1)
+        kind = match.lastgroup or ""
+        text = match.group()
+        column = position - line_start + 1
+        if kind == "IDENT" and text in _KEYWORDS:
+            kind = text.upper()
+        if kind not in ("WHITESPACE", "COMMENT"):
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token("EOF", "", line, position - line_start + 1))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser producing :mod:`repro.lang.ast` nodes."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                "expected %r but found %r" % (wanted, token.text or token.kind),
+                token.line, token.column)
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_program(self, entry: str = "main") -> A.Program:
+        procedures: List[A.Procedure] = []
+        while not self._check("EOF"):
+            procedures.append(self.parse_procedure())
+        if not procedures:
+            raise self._error("empty program")
+        if not any(p.name == entry for p in procedures):
+            entry = procedures[0].name
+        return A.Program(tuple(procedures), entry)
+
+    def parse_procedure(self) -> A.Procedure:
+        self._expect("FUNCTION")
+        name = self._expect("IDENT").text
+        self._expect("OP", "(")
+        params: List[str] = []
+        if not self._check("OP", ")"):
+            params.append(self._expect("IDENT").text)
+            while self._match("OP", ","):
+                params.append(self._expect("IDENT").text)
+        self._expect("OP", ")")
+        body = self.parse_block()
+        return A.Procedure(name, tuple(params), body)
+
+    def parse_block(self) -> Tuple[A.Stmt, ...]:
+        self._expect("OP", "{")
+        stmts: List[A.Stmt] = []
+        while not self._check("OP", "}"):
+            stmts.append(self.parse_statement())
+        self._expect("OP", "}")
+        return tuple(stmts)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> A.Stmt:
+        if self._check("VAR"):
+            return self._parse_var_decl()
+        if self._check("IF"):
+            return self._parse_if()
+        if self._check("WHILE"):
+            return self._parse_while()
+        if self._check("RETURN"):
+            return self._parse_return()
+        if self._check("PRINT"):
+            return self._parse_print()
+        if self._check("SKIP"):
+            self._advance()
+            self._expect("OP", ";")
+            return A.Skip()
+        return self._parse_assignment_or_call()
+
+    def _parse_var_decl(self) -> A.Stmt:
+        self._expect("VAR")
+        name = self._expect("IDENT").text
+        # Optional `: Type` annotation (ignored, kept for paper-style sources).
+        if self._match("OP", ":"):
+            self._expect("IDENT")
+        self._expect("OP", "=")
+        return self._finish_assignment(name)
+
+    def _parse_if(self) -> A.Stmt:
+        self._expect("IF")
+        self._expect("OP", "(")
+        cond = self.parse_expression()
+        self._expect("OP", ")")
+        then_body = self.parse_block()
+        else_body: Tuple[A.Stmt, ...] = ()
+        if self._match("ELSE"):
+            if self._check("IF"):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self.parse_block()
+        return A.If(cond, then_body, else_body)
+
+    def _parse_while(self) -> A.Stmt:
+        self._expect("WHILE")
+        self._expect("OP", "(")
+        cond = self.parse_expression()
+        self._expect("OP", ")")
+        body = self.parse_block()
+        return A.While(cond, body)
+
+    def _parse_return(self) -> A.Stmt:
+        self._expect("RETURN")
+        if self._match("OP", ";"):
+            return A.Return(None)
+        value = self.parse_expression()
+        self._expect("OP", ";")
+        return A.Return(value)
+
+    def _parse_print(self) -> A.Stmt:
+        self._expect("PRINT")
+        self._expect("OP", "(")
+        value = self.parse_expression()
+        self._expect("OP", ")")
+        self._expect("OP", ";")
+        return A.Print(value)
+
+    def _parse_assignment_or_call(self) -> A.Stmt:
+        name = self._expect("IDENT").text
+        if self._match("OP", "."):
+            fieldname = self._expect("IDENT").text
+            self._expect("OP", "=")
+            value = self.parse_expression()
+            self._expect("OP", ";")
+            return A.FieldAssign(name, fieldname, value)
+        if self._match("OP", "["):
+            index = self.parse_expression()
+            self._expect("OP", "]")
+            self._expect("OP", "=")
+            value = self.parse_expression()
+            self._expect("OP", ";")
+            return A.ArrayAssign(name, index, value)
+        if self._match("OP", "("):
+            args = self._parse_call_args()
+            self._expect("OP", ";")
+            return A.Call(None, name, args)
+        self._expect("OP", "=")
+        return self._finish_assignment(name)
+
+    def _finish_assignment(self, target: str) -> A.Stmt:
+        # A call may only appear as the entire right-hand side, matching the
+        # `x = f(y)` form the paper's interprocedural analysis supports.
+        if self._check("IDENT") and self.tokens[self.index + 1].text == "(":
+            function = self._advance().text
+            self._expect("OP", "(")
+            args = self._parse_call_args()
+            self._expect("OP", ";")
+            return A.Call(target, function, args)
+        value = self.parse_expression()
+        self._expect("OP", ";")
+        return A.Assign(target, value)
+
+    def _parse_call_args(self) -> Tuple[A.Expr, ...]:
+        args: List[A.Expr] = []
+        if not self._check("OP", ")"):
+            args.append(self.parse_expression())
+            while self._match("OP", ","):
+                args.append(self.parse_expression())
+        self._expect("OP", ")")
+        return tuple(args)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expression(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        left = self._parse_and()
+        while self._check("OP", "||"):
+            self._advance()
+            left = A.BinOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> A.Expr:
+        left = self._parse_comparison()
+        while self._check("OP", "&&"):
+            self._advance()
+            left = A.BinOp("&&", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> A.Expr:
+        left = self._parse_additive()
+        while self._peek().kind == "OP" and self._peek().text in A.COMPARISON_OPS:
+            op = self._advance().text
+            left = A.BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> A.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind == "OP" and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = A.BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> A.Expr:
+        left = self._parse_unary()
+        while self._peek().kind == "OP" and self._peek().text in ("*", "/", "%"):
+            op = self._advance().text
+            left = A.BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> A.Expr:
+        if self._check("OP", "-"):
+            self._advance()
+            return A.UnaryOp("-", self._parse_unary())
+        if self._check("OP", "!"):
+            self._advance()
+            return A.UnaryOp("!", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._match("OP", "."):
+                fieldname = self._expect("IDENT").text
+                if fieldname == "length":
+                    expr = A.ArrayLen(expr)
+                else:
+                    expr = A.FieldRead(expr, fieldname)
+            elif self._match("OP", "["):
+                index = self.parse_expression()
+                self._expect("OP", "]")
+                expr = A.ArrayRead(expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        if self._check("NUMBER"):
+            return A.IntLit(int(self._advance().text))
+        if self._check("STRING"):
+            return A.StrLit(self._advance().text[1:-1])
+        if self._match("NULL"):
+            return A.NullLit()
+        if self._match("TRUE"):
+            return A.BoolLit(True)
+        if self._match("FALSE"):
+            return A.BoolLit(False)
+        if self._match("NEW"):
+            # `new()` and `new Name()` both allocate an anonymous record.
+            if self._check("IDENT"):
+                self._advance()
+            self._expect("OP", "(")
+            self._expect("OP", ")")
+            return A.AllocRecord()
+        if self._check("IDENT"):
+            return A.Var(self._advance().text)
+        if self._match("OP", "("):
+            expr = self.parse_expression()
+            self._expect("OP", ")")
+            return expr
+        if self._check("OP", "["):
+            self._advance()
+            elements: List[A.Expr] = []
+            if not self._check("OP", "]"):
+                elements.append(self.parse_expression())
+                while self._match("OP", ","):
+                    elements.append(self.parse_expression())
+            self._expect("OP", "]")
+            return A.ArrayLit(tuple(elements))
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str, entry: str = "main") -> A.Program:
+    """Parse source text into a :class:`~repro.lang.ast.Program`."""
+    return Parser(source).parse_program(entry)
+
+
+def parse_procedure(source: str) -> A.Procedure:
+    """Parse a single ``function`` definition."""
+    return Parser(source).parse_procedure()
+
+
+def parse_expression(source: str) -> A.Expr:
+    """Parse a single expression (useful in tests and the workload generator)."""
+    parser = Parser(source)
+    expr = parser.parse_expression()
+    if not parser._check("EOF"):
+        raise parser._error("trailing input after expression")
+    return expr

@@ -1,0 +1,59 @@
+"""Synthetic edit/query workloads and latency statistics (Section 7.3)."""
+
+from .edits import (
+    InsertConditional,
+    InsertLoop,
+    InsertStatement,
+    ProgramEdit,
+    ReplaceStatement,
+)
+from .generator import (
+    CONDITIONAL_PROBABILITY,
+    LOOP_PROBABILITY,
+    QUERIES_PER_EDIT,
+    STATEMENT_PROBABILITY,
+    WorkloadGenerator,
+    WorkloadStep,
+)
+from .driver import (
+    WorkloadResult,
+    generate_trials,
+    merge_results,
+    run_comparison,
+    run_trial,
+)
+from .stats import (
+    LatencySample,
+    cumulative_distribution,
+    format_summary_table,
+    fraction_within,
+    percentile,
+    scatter_series,
+    summarize,
+)
+
+__all__ = [
+    "InsertConditional",
+    "InsertLoop",
+    "InsertStatement",
+    "ProgramEdit",
+    "ReplaceStatement",
+    "CONDITIONAL_PROBABILITY",
+    "LOOP_PROBABILITY",
+    "QUERIES_PER_EDIT",
+    "STATEMENT_PROBABILITY",
+    "WorkloadGenerator",
+    "WorkloadStep",
+    "WorkloadResult",
+    "generate_trials",
+    "merge_results",
+    "run_comparison",
+    "run_trial",
+    "LatencySample",
+    "cumulative_distribution",
+    "format_summary_table",
+    "fraction_within",
+    "percentile",
+    "scatter_series",
+    "summarize",
+]

@@ -1,0 +1,107 @@
+"""The workload driver: runs an edit/query stream against a configuration.
+
+This is the harness behind the Fig. 10 experiments: it feeds the *same*
+pre-generated stream of edits and queries (fixed random seeds, as in the
+paper) to each analysis configuration, times every step, and collects
+``(program size, latency)`` samples for the summary table, the CDF, and the
+scatter series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from .generator import WorkloadGenerator, WorkloadStep
+from .stats import LatencySample, summarize
+
+if TYPE_CHECKING:  # imported only for type checking to avoid an import cycle
+    from ..analysis.config import AnalysisConfiguration
+
+
+@dataclass
+class WorkloadResult:
+    """All samples collected from running one configuration over one trial."""
+
+    configuration: str
+    trial_seed: int
+    samples: List[LatencySample] = field(default_factory=list)
+
+    def latencies(self) -> List[float]:
+        return [sample.seconds for sample in self.samples]
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self.latencies())
+
+
+def run_trial(
+    configuration: "AnalysisConfiguration",
+    steps: Sequence[WorkloadStep],
+    seed: int = 0,
+    clock: Callable[[], float] = time.perf_counter,
+    progress: Optional[Callable[[int, float], None]] = None,
+) -> WorkloadResult:
+    """Run ``steps`` against ``configuration``, timing each step.
+
+    Every step's latency covers the work the configuration does in response
+    to the edit plus answering the five queries (eager configurations do all
+    their work in the edit phase; demand-driven ones in the query phase).
+    """
+    result = WorkloadResult(configuration.name, seed)
+    for step in steps:
+        started = clock()
+        configuration.step(step.edit, step.query_locations)
+        elapsed = clock() - started
+        result.samples.append(LatencySample(step.program_size, elapsed))
+        if progress is not None:
+            progress(step.index, elapsed)
+    return result
+
+
+def generate_trials(
+    edits: int,
+    trials: int,
+    base_seed: int = 0,
+    queries_per_edit: int = 5,
+) -> List[List[WorkloadStep]]:
+    """Pre-generate ``trials`` independent edit/query streams.
+
+    Fixed seeds ensure every configuration sees identical streams, as the
+    paper's methodology requires.
+    """
+    streams: List[List[WorkloadStep]] = []
+    for trial in range(trials):
+        generator = WorkloadGenerator(seed=base_seed + trial,
+                                      queries_per_edit=queries_per_edit)
+        streams.append(generator.generate(edits))
+    return streams
+
+
+def run_comparison(
+    make_configurations: Callable[[], Dict[str, "AnalysisConfiguration"]],
+    edits: int = 100,
+    trials: int = 1,
+    base_seed: int = 0,
+    queries_per_edit: int = 5,
+) -> Dict[str, List[WorkloadResult]]:
+    """Run every configuration over every trial and return all results.
+
+    ``make_configurations`` is called once per trial so that each trial
+    starts from a fresh, empty program for every configuration.
+    """
+    streams = generate_trials(edits, trials, base_seed, queries_per_edit)
+    results: Dict[str, List[WorkloadResult]] = {}
+    for trial, steps in enumerate(streams):
+        for name, configuration in make_configurations().items():
+            outcome = run_trial(configuration, steps, seed=base_seed + trial)
+            results.setdefault(name, []).append(outcome)
+    return results
+
+
+def merge_results(results: Dict[str, List[WorkloadResult]]) -> Dict[str, List[LatencySample]]:
+    """Pool the samples of all trials per configuration."""
+    pooled: Dict[str, List[LatencySample]] = {}
+    for name, trials in results.items():
+        pooled[name] = [sample for trial in trials for sample in trial.samples]
+    return pooled

@@ -1,0 +1,119 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import (
+    ConstantDomain,
+    IntervalDomain,
+    OctagonDomain,
+    ShapeDomain,
+    SignDomain,
+)
+from repro.lang import build_cfg, build_program_cfgs, parse_program
+from repro.lang.programs import append_program, array_program, list_program
+from repro.workload.generator import WorkloadGenerator
+
+#: A small looping program used across many tests.
+LOOP_SOURCE = """
+function main() {
+  var i = 0;
+  var total = 0;
+  while (i < 10) {
+    total = total + i;
+    i = i + 1;
+  }
+  return total;
+}
+"""
+
+#: Straight-line program with a conditional join.
+BRANCH_SOURCE = """
+function main(flag) {
+  var x = 0;
+  if (flag > 0) {
+    x = 1;
+  } else {
+    x = 2;
+  }
+  var y = x + 3;
+  return y;
+}
+"""
+
+#: Nested loops.
+NESTED_SOURCE = """
+function main() {
+  var i = 0;
+  var total = 0;
+  while (i < 3) {
+    var j = 0;
+    while (j < 4) {
+      total = total + 1;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return total;
+}
+"""
+
+
+@pytest.fixture
+def loop_cfg():
+    return build_cfg(parse_program(LOOP_SOURCE).procedure("main"))
+
+
+@pytest.fixture
+def branch_cfg():
+    return build_cfg(parse_program(BRANCH_SOURCE).procedure("main"))
+
+
+@pytest.fixture
+def nested_cfg():
+    return build_cfg(parse_program(NESTED_SOURCE).procedure("main"))
+
+
+@pytest.fixture
+def append_cfg():
+    return build_cfg(append_program().procedure("append"))
+
+
+@pytest.fixture
+def interval_domain():
+    return IntervalDomain()
+
+
+@pytest.fixture
+def sign_domain():
+    return SignDomain()
+
+
+@pytest.fixture
+def constant_domain():
+    return ConstantDomain()
+
+
+@pytest.fixture
+def octagon_domain():
+    return OctagonDomain()
+
+
+@pytest.fixture
+def shape_domain():
+    return ShapeDomain()
+
+
+def random_cfg(seed: int, edits: int):
+    """A random CFG produced by applying `edits` workload edits from `seed`."""
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    generator.generate(edits)
+    return generator.cfg
+
+
+def random_workload(seed: int, edits: int):
+    """A random workload stream plus the generator that produced it."""
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    steps = generator.generate(edits)
+    return generator, steps

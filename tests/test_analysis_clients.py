@@ -1,0 +1,150 @@
+"""Tests for the Section 7.2 verification clients (array safety, shape)."""
+
+import pytest
+
+from repro.analysis import (
+    ArraySafetyClient,
+    ShapeVerificationClient,
+    collect_array_accesses,
+    procedure_returns_pointer,
+)
+from repro.interproc import policy_by_name
+from repro.lang import build_cfg, build_program_cfgs, parse_program
+from repro.lang.programs import (
+    ARRAY_PROGRAMS,
+    LIST_PROGRAMS,
+    all_array_programs,
+    array_program,
+    list_program,
+)
+
+
+class TestAccessCollection:
+    def test_reads_and_writes_are_collected(self):
+        cfg = build_program_cfgs(array_program("swap"))["main"]
+        accesses = collect_array_accesses("main", cfg)
+        kinds = [access.kind for access in accesses]
+        assert kinds.count("write") == 2
+        assert kinds.count("read") >= 3
+
+    def test_reads_inside_conditions_are_collected(self):
+        cfg = build_program_cfgs(array_program("count"))["main"]
+        accesses = collect_array_accesses("main", cfg)
+        assert any(access.kind == "read" for access in accesses)
+
+    def test_access_description(self):
+        cfg = build_program_cfgs(array_program("fill"))["main"]
+        access = collect_array_accesses("main", cfg)[0]
+        assert "main" in access.describe()
+
+    def test_suite_contains_at_least_eighty_five_accesses(self):
+        total = 0
+        for name, program in all_array_programs().items():
+            cfgs = build_program_cfgs(program)
+            for procedure, cfg in cfgs.items():
+                total += len(collect_array_accesses(procedure, cfg))
+        assert total >= 85  # the paper's suite has 85 accesses
+        assert len(ARRAY_PROGRAMS) == 23  # and 23 programs
+
+
+class TestArraySafetyClient:
+    def test_simple_bounded_loop_is_verified(self):
+        cfgs = build_program_cfgs(array_program("sum"))
+        report = ArraySafetyClient(cfgs, policy_by_name("insensitive")).check("sum")
+        assert report.verified == report.total > 0
+
+    def test_unbounded_index_is_not_verified(self):
+        cfgs = build_program_cfgs(parse_program("""
+            function main(i) {
+              var a = [1, 2, 3];
+              var v = a[i];
+              return v;
+            }"""))
+        report = ArraySafetyClient(cfgs, policy_by_name("insensitive")).check("raw")
+        assert report.verified == 0 and report.total == 1
+
+    def test_guarded_index_is_verified(self):
+        cfgs = build_program_cfgs(parse_program("""
+            function main(i) {
+              var a = [1, 2, 3];
+              var v = 0;
+              if (i >= 0) {
+                if (i < a.length) {
+                  v = a[i];
+                }
+              }
+              return v;
+            }"""))
+        report = ArraySafetyClient(cfgs, policy_by_name("insensitive")).check("guarded")
+        assert report.verified == report.total == 1
+
+    def test_context_sensitivity_precision_staircase(self):
+        """More context sensitivity verifies at least as many accesses, and
+        strictly more across the suite (the Section 7.2 staircase)."""
+        totals = {}
+        for policy_name in ("insensitive", "1-call-site", "2-call-site"):
+            verified = 0
+            total = 0
+            for name in ("get_helper", "get_mixed", "first_last", "peek_ends",
+                         "safe_reads", "interleave"):
+                cfgs = build_program_cfgs(array_program(name))
+                report = ArraySafetyClient(
+                    cfgs, policy_by_name(policy_name)).check(name)
+                verified += report.verified
+                total += report.total
+            totals[policy_name] = (verified, total)
+        assert totals["insensitive"][1] == totals["2-call-site"][1]
+        assert (totals["insensitive"][0] <= totals["1-call-site"][0]
+                <= totals["2-call-site"][0])
+        assert totals["insensitive"][0] < totals["2-call-site"][0]
+
+    def test_helpers_only_counted_when_called(self):
+        cfgs = build_program_cfgs(array_program("sum"))
+        report = ArraySafetyClient(
+            cfgs, policy_by_name("insensitive")).check("sum")
+        procedures = {verdict.access.procedure for verdict in report.verdicts}
+        assert procedures == {"main"}
+
+    def test_report_summary_format(self):
+        cfgs = build_program_cfgs(array_program("fill"))
+        report = ArraySafetyClient(cfgs, policy_by_name("1-call-site")).check("fill")
+        assert "fill" in report.summary() and "1-call-site" in report.summary()
+
+
+class TestShapeClient:
+    def test_append_verdict_matches_paper(self):
+        client = ShapeVerificationClient()
+        verdict = client.verify_program(list_program("append"))["append"]
+        assert verdict.memory_safe
+        assert verdict.returns_wellformed_list is True
+        assert verdict.demanded_unrollings == 1
+
+    @pytest.mark.parametrize("name", sorted(LIST_PROGRAMS))
+    def test_all_list_programs_are_memory_safe(self, name):
+        client = ShapeVerificationClient()
+        verdict = client.verify_program(list_program(name))[name]
+        assert verdict.memory_safe, verdict.faults
+
+    def test_numeric_returns_skip_wellformedness(self):
+        program = list_program("length")
+        assert not procedure_returns_pointer(program.procedure("length"))
+        verdict = ShapeVerificationClient().verify_program(program)["length"]
+        assert verdict.returns_wellformed_list is None
+
+    def test_pointer_returns_checked(self):
+        program = list_program("prepend")
+        assert procedure_returns_pointer(program.procedure("prepend"))
+
+    def test_broken_program_is_flagged(self):
+        program = parse_program("""
+            function bad(p) {
+              var x = p.next;
+              return x;
+            }""", entry="bad")
+        verdict = ShapeVerificationClient().verify_program(program)["bad"]
+        assert not verdict.memory_safe
+
+    def test_verify_cfg_direct(self, shape_domain):
+        cfg = build_cfg(list_program("foreach").procedure("foreach"))
+        verdict = ShapeVerificationClient(shape_domain).verify_cfg(cfg, True)
+        assert verdict.memory_safe and verdict.returns_wellformed_list

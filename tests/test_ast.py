@@ -1,0 +1,130 @@
+"""Unit tests for the AST module: expressions, statements, and helpers."""
+
+import pytest
+
+from repro.lang import ast as A
+
+
+class TestExpressions:
+    def test_var_variables(self):
+        assert A.Var("x").variables() == frozenset({"x"})
+
+    def test_literal_variables_empty(self):
+        assert A.IntLit(3).variables() == frozenset()
+        assert A.BoolLit(True).variables() == frozenset()
+        assert A.NullLit().variables() == frozenset()
+        assert A.StrLit("hi").variables() == frozenset()
+
+    def test_binop_collects_both_sides(self):
+        expr = A.BinOp("+", A.Var("x"), A.BinOp("*", A.Var("y"), A.IntLit(2)))
+        assert expr.variables() == frozenset({"x", "y"})
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            A.BinOp("**", A.IntLit(1), A.IntLit(2))
+
+    def test_unary_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            A.UnaryOp("~", A.IntLit(1))
+
+    def test_array_read_variables(self):
+        expr = A.ArrayRead(A.Var("a"), A.Var("i"))
+        assert expr.variables() == frozenset({"a", "i"})
+
+    def test_field_read_variables(self):
+        assert A.FieldRead(A.Var("r"), "next").variables() == frozenset({"r"})
+
+    def test_walk_visits_all_subexpressions(self):
+        expr = A.BinOp("+", A.ArrayRead(A.Var("a"), A.IntLit(0)), A.Var("b"))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds.count("Var") == 2
+        assert "ArrayRead" in kinds and "IntLit" in kinds
+
+    def test_structural_equality_and_hash(self):
+        left = A.BinOp("<", A.Var("i"), A.IntLit(5))
+        right = A.BinOp("<", A.Var("i"), A.IntLit(5))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != A.BinOp("<", A.Var("i"), A.IntLit(6))
+
+
+class TestNegate:
+    @pytest.mark.parametrize("op,flipped", [
+        ("==", "!="), ("!=", "=="), ("<", ">="), ("<=", ">"),
+        (">", "<="), (">=", "<"),
+    ])
+    def test_comparisons_are_flipped(self, op, flipped):
+        expr = A.BinOp(op, A.Var("x"), A.IntLit(1))
+        negated = A.negate(expr)
+        assert isinstance(negated, A.BinOp)
+        assert negated.op == flipped
+
+    def test_double_negation_of_not(self):
+        inner = A.Var("flag")
+        assert A.negate(A.UnaryOp("!", inner)) == inner
+
+    def test_boolean_literal(self):
+        assert A.negate(A.BoolLit(True)) == A.BoolLit(False)
+
+    def test_fallback_wraps_in_not(self):
+        expr = A.BinOp("&&", A.Var("a"), A.Var("b"))
+        assert A.negate(expr) == A.UnaryOp("!", expr)
+
+
+class TestAtomicStatements:
+    def test_assign_defs_uses(self):
+        stmt = A.AssignStmt("x", A.BinOp("+", A.Var("y"), A.IntLit(1)))
+        assert stmt.defs() == frozenset({"x"})
+        assert stmt.uses() == frozenset({"y"})
+        assert stmt.variables() == frozenset({"x", "y"})
+
+    def test_assume_has_no_defs(self):
+        stmt = A.AssumeStmt(A.BinOp("<", A.Var("i"), A.Var("n")))
+        assert stmt.defs() == frozenset()
+        assert stmt.uses() == frozenset({"i", "n"})
+
+    def test_array_write_defs_and_uses(self):
+        stmt = A.ArrayWriteStmt("a", A.Var("i"), A.Var("v"))
+        assert stmt.defs() == frozenset({"a"})
+        assert "a" in stmt.uses() and "i" in stmt.uses() and "v" in stmt.uses()
+
+    def test_call_defs(self):
+        stmt = A.CallStmt("x", "f", (A.Var("y"),))
+        assert stmt.defs() == frozenset({"x"})
+        assert stmt.uses() == frozenset({"y"})
+        assert A.CallStmt(None, "f", ()).defs() == frozenset()
+
+    def test_skip_and_print(self):
+        assert A.SkipStmt().variables() == frozenset()
+        assert A.PrintStmt(A.Var("x")).uses() == frozenset({"x"})
+
+    def test_string_renderings(self):
+        assert str(A.AssignStmt("x", A.IntLit(1))) == "x = 1"
+        assert "assume" in str(A.AssumeStmt(A.Var("c")))
+        assert str(A.FieldWriteStmt("r", "next", A.NullLit())) == "r.next = null"
+
+
+class TestProgramStructure:
+    def test_program_lookup(self):
+        procedure = A.Procedure("f", ("x",), (A.Return(A.Var("x")),))
+        program = A.Program((procedure,), entry="f")
+        assert program.procedure("f") is procedure
+        with pytest.raises(KeyError):
+            program.procedure("missing")
+
+    def test_with_procedure_replaces(self):
+        first = A.Procedure("f", (), (A.Return(A.IntLit(1)),))
+        second = A.Procedure("f", (), (A.Return(A.IntLit(2)),))
+        program = A.Program((first,), entry="f").with_procedure(second)
+        assert program.procedure("f") is second
+        assert len(program.procedures) == 1
+
+    def test_with_procedure_adds(self):
+        first = A.Procedure("f", (), (A.Return(A.IntLit(1)),))
+        other = A.Procedure("g", (), (A.Return(A.IntLit(2)),))
+        program = A.Program((first,), entry="f").with_procedure(other)
+        assert set(program.names()) == {"f", "g"}
+
+    def test_block_helper(self):
+        stmts = A.block(A.Skip(), A.Return(None))
+        assert isinstance(stmts, tuple) and len(stmts) == 2

@@ -1,0 +1,187 @@
+"""Unit tests for the concrete semantics (the soundness oracle)."""
+
+import pytest
+
+from repro.concrete import (
+    ArrayValue,
+    CfgInterpreter,
+    ConcreteError,
+    ConcreteState,
+    InfeasibleError,
+    NullDereferenceError,
+    OutOfBoundsError,
+    ProgramInterpreter,
+    collecting_semantics,
+    eval_expr,
+    exec_stmt,
+    initial_state,
+)
+from repro.lang import ast as A
+from repro.lang import build_cfg, build_program_cfgs, parse_expression, parse_program
+from repro.lang.programs import append_program, array_program
+
+from conftest import LOOP_SOURCE
+
+
+def evaluate(source: str, **bindings):
+    return eval_expr(parse_expression(source), initial_state(**bindings))
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("10 - 4") == 6
+        assert evaluate("7 / 2") == 3
+        assert evaluate("-7 / 2") == -3  # truncation toward zero
+        assert evaluate("7 % 3") == 1
+
+    def test_division_by_zero_is_an_error(self):
+        with pytest.raises(ConcreteError):
+            evaluate("1 / 0")
+
+    def test_comparisons_and_logic(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <= 1") is False
+        assert evaluate("1 == 1 && 2 > 1") is True
+        assert evaluate("1 == 2 || 3 >= 3") is True
+        assert evaluate("!(1 == 2)") is True
+
+    def test_variables_and_unbound_error(self):
+        assert evaluate("x + 1", x=4) == 5
+        with pytest.raises(ConcreteError):
+            evaluate("missing")
+
+    def test_array_literals_reads_and_length(self):
+        assert evaluate("[1, 2, 3].length") == 3
+        assert evaluate("[4, 5, 6][1]") == 5
+
+    def test_array_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            evaluate("[1, 2][5]")
+        with pytest.raises(OutOfBoundsError):
+            evaluate("a[0 - 1]", a=ArrayValue([1]))
+
+    def test_null_field_read_faults(self):
+        with pytest.raises(NullDereferenceError):
+            evaluate("p.next", p=None)
+
+
+class TestStatementExecution:
+    def test_assignment(self):
+        state = exec_stmt(A.AssignStmt("x", A.IntLit(3)), ConcreteState())
+        assert state.env["x"] == 3
+
+    def test_allocation_and_field_write(self):
+        state = exec_stmt(A.AssignStmt("n", A.AllocRecord()), ConcreteState())
+        state = exec_stmt(A.FieldWriteStmt("n", "next", A.NullLit()), state)
+        address = state.env["n"]
+        assert state.heap[address]["next"] is None
+
+    def test_assume_feasible_and_infeasible(self):
+        state = initial_state(x=5)
+        assert exec_stmt(A.AssumeStmt(parse_expression("x > 0")), state).env["x"] == 5
+        with pytest.raises(InfeasibleError):
+            exec_stmt(A.AssumeStmt(parse_expression("x < 0")), state)
+
+    def test_array_write(self):
+        state = initial_state(a=ArrayValue([1, 2, 3]))
+        state = exec_stmt(A.ArrayWriteStmt("a", A.IntLit(1), A.IntLit(9)), state)
+        assert state.env["a"].elements == [1, 9, 3]
+
+    def test_array_write_out_of_bounds(self):
+        state = initial_state(a=ArrayValue([1]))
+        with pytest.raises(OutOfBoundsError):
+            exec_stmt(A.ArrayWriteStmt("a", A.IntLit(4), A.IntLit(0)), state)
+
+    def test_call_requires_program_interpreter(self):
+        with pytest.raises(ConcreteError):
+            exec_stmt(A.CallStmt("x", "f", ()), ConcreteState())
+
+    def test_state_snapshots_do_not_alias(self):
+        state = initial_state(a=ArrayValue([1, 2]))
+        snapshot = state.copy()
+        mutated = exec_stmt(A.ArrayWriteStmt("a", A.IntLit(0), A.IntLit(7)), state)
+        assert snapshot.env["a"].elements == [1, 2]
+        assert mutated.env["a"].elements == [7, 2]
+
+
+class TestCfgExecution:
+    def test_loop_program_result(self):
+        cfg = build_cfg(parse_program(LOOP_SOURCE).procedure("main"))
+        final = CfgInterpreter(cfg).run(ConcreteState())
+        assert final.env[A.RETURN_VARIABLE] == sum(range(10))
+
+    def test_trace_records_every_location(self):
+        cfg = build_cfg(parse_program(LOOP_SOURCE).procedure("main"))
+        trace = CfgInterpreter(cfg).trace(ConcreteState())
+        assert trace[0][0] == cfg.entry
+        assert trace[-1][0] == cfg.exit
+
+    def test_out_of_fuel(self):
+        cfg = build_cfg(parse_program("""
+            function main() { var i = 0; while (i < 10) { skip; } return i; }
+        """).procedure("main"))
+        with pytest.raises(ConcreteError):
+            CfgInterpreter(cfg, fuel=50).run(ConcreteState())
+
+    def test_append_builds_a_well_formed_list(self):
+        cfg = build_cfg(append_program().procedure("append"))
+        state = ConcreteState()
+        # Build the list p = [a, b], q = [c] concretely.
+        for name in ("a", "b", "c"):
+            state = exec_stmt(A.AssignStmt(name, A.AllocRecord()), state)
+            state = exec_stmt(A.FieldWriteStmt(name, "next", A.NullLit()), state)
+        state = exec_stmt(A.FieldWriteStmt("a", "next", A.Var("b")), state)
+        state = state.write("p", state.env["a"]).write("q", state.env["c"])
+        final = CfgInterpreter(cfg).run(state)
+        # Walk the returned list: it must be null-terminated with 3 cells.
+        current = final.env[A.RETURN_VARIABLE]
+        length = 0
+        while current is not None:
+            current = final.read_field(current, "next")
+            length += 1
+            assert length <= 5
+        assert length == 3
+
+
+class TestProgramInterpreter:
+    def test_interprocedural_call(self):
+        program = parse_program("""
+            function inc(x) { return x + 1; }
+            function main(n) { var y = inc(n); var z = inc(y); return z; }
+        """)
+        cfgs = build_program_cfgs(program)
+        assert ProgramInterpreter(cfgs).call("main", [5]) == 7
+
+    def test_array_subject_programs_run(self):
+        for name in ("sum", "reverse", "histogram"):
+            cfgs = build_program_cfgs(array_program(name))
+            result = ProgramInterpreter(cfgs).call("main", [])
+            assert isinstance(result, (int, bool))
+
+    def test_arity_mismatch(self):
+        cfgs = build_program_cfgs(parse_program("function main(x) { return x; }"))
+        with pytest.raises(ConcreteError):
+            ProgramInterpreter(cfgs).call("main", [])
+
+
+class TestCollectingSemantics:
+    def test_collects_states_at_every_reachable_location(self):
+        cfg = build_cfg(parse_program(LOOP_SOURCE).procedure("main"))
+        collected = collecting_semantics(cfg, [ConcreteState()])
+        assert collected[cfg.entry]
+        assert collected[cfg.exit]
+        head = cfg.loop_heads()[0]
+        # The loop head is visited once per iteration plus entry.
+        assert len(collected[head]) >= 10
+
+    def test_runtime_errors_terminate_only_that_path(self):
+        cfg = build_cfg(parse_program("""
+            function main(i) {
+              var a = [1, 2];
+              var v = a[i];
+              return v;
+            }""").procedure("main"))
+        collected = collecting_semantics(
+            cfg, [initial_state(i=0), initial_state(i=9)])
+        assert len(collected[cfg.exit]) == 1

@@ -1,0 +1,177 @@
+"""Tests for DAIG names, the graph structure, and well-formedness checking."""
+
+import pytest
+
+from repro.daig import names as N
+from repro.daig.graph import (
+    Computation,
+    Daig,
+    FIX,
+    IllFormedDaigError,
+    JOIN,
+    TRANSFER,
+    WIDEN,
+)
+
+
+class TestNames:
+    def test_structural_equality(self):
+        assert N.state_name(3, [7], {7: 1}) == N.state_name(3, [7], {7: 1})
+        assert N.state_name(3, [7], {7: 1}) != N.state_name(3, [7], {7: 2})
+        assert N.stmt_name(1, 2) != N.stmt_name(2, 1)
+
+    def test_names_are_hashable_and_usable_as_keys(self):
+        table = {N.stmt_name(0, 1): "a", N.fix_name(5, [], {}): "b"}
+        assert table[N.stmt_name(0, 1)] == "a"
+
+    def test_cell_types(self):
+        assert N.stmt_name(0, 1).cell_type() == N.TYPE_STMT
+        assert N.state_name(0, [], {}).cell_type() == N.TYPE_STATE
+        assert N.fix_name(3, [], {}).cell_type() == N.TYPE_STATE
+
+    def test_iteration_of(self):
+        name = N.state_name(4, [2, 3], {2: 1, 3: 5})
+        assert name.iteration_of(2) == 1
+        assert name.iteration_of(3) == 5
+        assert name.iteration_of(99) == 0
+
+    def test_prewiden_iteration(self):
+        name = N.prewiden_name(3, 4, [3], {})
+        assert name.iteration_of(3) == 4
+        assert name.mentions_head_iteration(3, 2)
+        assert not name.mentions_head_iteration(3, 5)
+
+    def test_fix_name_excludes_own_head(self):
+        name = N.fix_name(3, [2, 3], {2: 1})
+        assert dict(name.iters) == {2: 1}
+
+    def test_mentions_head_iteration(self):
+        name = N.state_name(9, [4], {4: 3})
+        assert name.mentions_head_iteration(4, 2)
+        assert name.mentions_head_iteration(4, 3)
+        assert not name.mentions_head_iteration(4, 4)
+        assert not name.mentions_head_iteration(5, 1)
+
+    def test_renderings_are_distinct(self):
+        rendered = {str(N.state_name(1, [], {})), str(N.fix_name(1, [], {})),
+                    str(N.stmt_name(1, 2)), str(N.prejoin_name(1, 2, [], {})),
+                    str(N.prewiden_name(1, 2, [], {}))}
+        assert len(rendered) == 5
+
+
+def simple_daig():
+    """entry --stmt--> out, as a minimal transfer DAIG."""
+    daig = Daig()
+    entry = N.state_name(0, [], {})
+    out = N.state_name(1, [], {})
+    stmt = N.stmt_name(0, 1)
+    daig.add_ref(entry)
+    daig.add_ref(stmt)
+    daig.set_value(entry, "phi0")
+    daig.set_value(stmt, "skip")
+    daig.add_computation(out, TRANSFER, (stmt, entry))
+    return daig, entry, stmt, out
+
+
+class TestDaigStructure:
+    def test_add_and_query_cells(self):
+        daig, entry, stmt, out = simple_daig()
+        assert daig.has_value(entry)
+        assert not daig.has_value(out)
+        assert daig.defining(out).func == TRANSFER
+        assert daig.dependents_of(entry) == {out}
+
+    def test_duplicate_destination_rejected(self):
+        daig, entry, stmt, out = simple_daig()
+        with pytest.raises(IllFormedDaigError):
+            daig.add_computation(out, JOIN, (entry,))
+
+    def test_idempotent_recreation_allowed(self):
+        daig, entry, stmt, out = simple_daig()
+        daig.add_computation(out, TRANSFER, (stmt, entry))  # identical: no error
+
+    def test_replace_computation(self):
+        daig, entry, stmt, out = simple_daig()
+        other = N.state_name(2, [], {})
+        daig.add_ref(other)
+        daig.set_value(other, "phi2")
+        daig.replace_computation(out, TRANSFER, (stmt, other))
+        assert daig.defining(out).srcs[1] == other
+        assert out not in daig.dependents_of(entry)
+
+    def test_forward_reachability(self):
+        daig, entry, stmt, out = simple_daig()
+        further = N.state_name(2, [], {})
+        daig.add_computation(further, TRANSFER, (stmt, out))
+        assert daig.forward_reachable([entry]) == {out, further}
+        assert daig.reaches(entry, further)
+        assert not daig.reaches(further, entry)
+
+    def test_well_formedness_passes_on_valid_daig(self):
+        daig, *_ = simple_daig()
+        daig.check_well_formed()
+
+    def test_cycle_detection(self):
+        daig = Daig()
+        a = N.state_name(0, [], {})
+        b = N.state_name(1, [], {})
+        daig.add_computation(b, JOIN, (a,))
+        daig.add_computation(a, JOIN, (b,))
+        with pytest.raises(IllFormedDaigError):
+            daig.check_well_formed()
+
+    def test_empty_cell_without_computation_rejected(self):
+        daig = Daig()
+        daig.add_ref(N.state_name(0, [], {}))
+        with pytest.raises(IllFormedDaigError):
+            daig.check_well_formed()
+
+    def test_type_checking_of_computations(self):
+        daig = Daig()
+        state = N.state_name(0, [], {})
+        stmt = N.stmt_name(0, 1)
+        daig.add_ref(state)
+        daig.set_value(state, "phi")
+        daig.add_ref(stmt)
+        daig.set_value(stmt, "skip")
+        # Transfer with swapped inputs is ill-typed.
+        daig.add_computation(N.state_name(1, [], {}), TRANSFER, (state, stmt))
+        with pytest.raises(IllFormedDaigError):
+            daig.check_well_formed()
+
+    def test_writing_to_statement_cells_is_ill_typed(self):
+        daig = Daig()
+        state = N.state_name(0, [], {})
+        daig.add_ref(state)
+        daig.set_value(state, "phi")
+        daig.add_computation(N.stmt_name(0, 1), JOIN, (state,))
+        with pytest.raises(IllFormedDaigError):
+            daig.check_well_formed()
+
+    def test_fix_and_widen_arity_checked(self):
+        daig = Daig()
+        a, b, c = (N.state_name(i, [], {}) for i in range(3))
+        for name in (a, b):
+            daig.add_ref(name)
+            daig.set_value(name, "phi")
+        daig.add_computation(c, WIDEN, (a,))
+        with pytest.raises(IllFormedDaigError):
+            daig.check_well_formed()
+
+    def test_remove_ref_clears_value_and_computation(self):
+        daig, entry, stmt, out = simple_daig()
+        daig.set_value(out, "phi1")
+        daig.remove_ref(out)
+        assert out not in daig.refs
+        assert daig.defining(out) is None
+
+    def test_set_value_requires_declared_ref(self):
+        daig = Daig()
+        with pytest.raises(KeyError):
+            daig.set_value(N.state_name(9, [], {}), "phi")
+
+    def test_size_and_pretty(self):
+        daig, *_ = simple_daig()
+        cells, comps = daig.size()
+        assert cells == 3 and comps == 1
+        assert "DAIG with" in daig.pretty()

@@ -1,0 +1,44 @@
+"""Smoke tests: the shipped examples must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Invariant at exit" in out
+
+
+def test_shape_append_verification(capsys):
+    run_example("shape_append_verification.py")
+    out = capsys.readouterr().out
+    assert "memory-safe=True" in out
+    assert "demanded unrollings of the traversal loop: 1" in out
+
+
+def test_interactive_ide_session(capsys):
+    run_example("interactive_ide_session.py", ["10"])
+    out = capsys.readouterr().out
+    assert "incr+demand" in out
+
+
+@pytest.mark.slow
+def test_array_safety_audit(capsys):
+    run_example("array_safety_audit.py")
+    out = capsys.readouterr().out
+    assert "2-call-site" in out

@@ -1,0 +1,154 @@
+"""Unit tests for the parser of the JavaScript-like subset."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.parser import ParseError, parse_expression, parse_procedure, parse_program
+from repro.lang.programs import ARRAY_PROGRAMS, LIST_PROGRAMS
+
+
+class TestExpressions:
+    def test_integer_literal(self):
+        assert parse_expression("42") == A.IntLit(42)
+
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == A.BinOp("+", A.IntLit(1), A.BinOp("*", A.IntLit(2), A.IntLit(3)))
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr == A.BinOp("*", A.BinOp("+", A.IntLit(1), A.IntLit(2)), A.IntLit(3))
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expression("i < n - 1")
+        assert isinstance(expr, A.BinOp) and expr.op == "<"
+        assert expr.right == A.BinOp("-", A.Var("n"), A.IntLit(1))
+
+    def test_logical_operators(self):
+        expr = parse_expression("a < 1 && b > 2 || c == 3")
+        assert isinstance(expr, A.BinOp) and expr.op == "||"
+
+    def test_field_and_length_postfix(self):
+        assert parse_expression("r.next") == A.FieldRead(A.Var("r"), "next")
+        assert parse_expression("a.length") == A.ArrayLen(A.Var("a"))
+        nested = parse_expression("r.next.next")
+        assert nested == A.FieldRead(A.FieldRead(A.Var("r"), "next"), "next")
+
+    def test_array_read_and_literal(self):
+        assert parse_expression("a[i + 1]") == A.ArrayRead(
+            A.Var("a"), A.BinOp("+", A.Var("i"), A.IntLit(1)))
+        assert parse_expression("[1, 2]") == A.ArrayLit((A.IntLit(1), A.IntLit(2)))
+        assert parse_expression("[]") == A.ArrayLit(())
+
+    def test_null_true_false_new(self):
+        assert parse_expression("null") == A.NullLit()
+        assert parse_expression("true") == A.BoolLit(True)
+        assert parse_expression("false") == A.BoolLit(False)
+        assert parse_expression("new()") == A.AllocRecord()
+        assert parse_expression("new Node()") == A.AllocRecord()
+
+    def test_unary_operators(self):
+        assert parse_expression("-x") == A.UnaryOp("-", A.Var("x"))
+        assert parse_expression("!done") == A.UnaryOp("!", A.Var("done"))
+
+    def test_trailing_garbage_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+    def test_unterminated_expression_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 +")
+
+
+class TestStatementsAndProcedures:
+    def test_procedure_header(self):
+        proc = parse_procedure("function add(a, b) { return a + b; }")
+        assert proc.name == "add"
+        assert proc.params == ("a", "b")
+        assert isinstance(proc.body[0], A.Return)
+
+    def test_var_declaration_and_assignment(self):
+        proc = parse_procedure("function f() { var x = 1; x = x + 1; return x; }")
+        assert proc.body[0] == A.Assign("x", A.IntLit(1))
+        assert isinstance(proc.body[1], A.Assign)
+
+    def test_field_and_array_assignment(self):
+        proc = parse_procedure(
+            "function f(r, a) { r.next = null; a[0] = 5; return a; }")
+        assert proc.body[0] == A.FieldAssign("r", "next", A.NullLit())
+        assert proc.body[1] == A.ArrayAssign("a", A.IntLit(0), A.IntLit(5))
+
+    def test_if_else_and_else_if(self):
+        proc = parse_procedure("""
+            function f(x) {
+              if (x < 0) { return 0; } else if (x > 10) { return 10; }
+              return x;
+            }""")
+        outer = proc.body[0]
+        assert isinstance(outer, A.If)
+        assert isinstance(outer.else_body[0], A.If)
+
+    def test_while_loop(self):
+        proc = parse_procedure(
+            "function f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }")
+        assert isinstance(proc.body[1], A.While)
+
+    def test_calls_statement_and_assignment_forms(self):
+        proc = parse_procedure(
+            "function f(x) { log(x); var y = helper(x, 1); return y; }")
+        assert proc.body[0] == A.Call(None, "log", (A.Var("x"),))
+        assert proc.body[1] == A.Call("y", "helper", (A.Var("x"), A.IntLit(1)))
+
+    def test_print_skip_and_bare_return(self):
+        proc = parse_procedure(
+            'function f() { print("hello"); skip; return; }')
+        assert proc.body[0] == A.Print(A.StrLit("hello"))
+        assert proc.body[1] == A.Skip()
+        assert proc.body[2] == A.Return(None)
+
+    def test_type_annotations_are_ignored(self):
+        proc = parse_procedure("function f(p) { var r: List = p; return r; }")
+        assert proc.body[0] == A.Assign("r", A.Var("p"))
+
+    def test_comments_are_skipped(self):
+        proc = parse_procedure("""
+            function f() {
+              // line comment
+              var x = 1; /* block
+              comment */ return x;
+            }""")
+        assert len(proc.body) == 2
+
+    def test_program_entry_selection(self):
+        program = parse_program(
+            "function helper() { return 1; } function main() { return 2; }")
+        assert program.entry == "main"
+        fallback = parse_program("function only() { return 1; }", entry="main")
+        assert fallback.entry == "only"
+
+    def test_missing_semicolon_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_procedure("function f() { var x = 1 return x; }")
+
+    def test_empty_program_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_procedure("function f() {\n  var x = @;\n}")
+        assert excinfo.value.line == 2
+
+
+class TestProgramCorpus:
+    """The shipped subject programs must all parse."""
+
+    @pytest.mark.parametrize("name", sorted(ARRAY_PROGRAMS))
+    def test_array_programs_parse(self, name):
+        program = parse_program(ARRAY_PROGRAMS[name], entry="main")
+        assert "main" in program.names()
+
+    @pytest.mark.parametrize("name", sorted(LIST_PROGRAMS))
+    def test_list_programs_parse(self, name):
+        program = parse_program(LIST_PROGRAMS[name], entry=name)
+        assert name in program.names()

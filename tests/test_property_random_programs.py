@@ -1,0 +1,97 @@
+"""Property-based tests over randomly generated programs (hypothesis).
+
+Two global properties are exercised on random programs drawn from the
+workload generator's grammar:
+
+* **Soundness** (Proposition 3.2): every state the bounded collecting
+  semantics observes at a location is abstracted by the analysis result at
+  that location, for the interval and octagon domains.
+* **From-scratch consistency under edits** (Theorems 6.1/6.3 across program
+  versions): after a random sequence of edits, demanded queries through the
+  DAIG engine coincide with a from-scratch batch analysis, and the DAIG
+  remains well-formed.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ai import analyze_cfg
+from repro.concrete import ConcreteState, collecting_semantics
+from repro.daig import DaigEngine
+from repro.domains import IntervalDomain, OctagonDomain, SignDomain
+from repro.lang import ast as A
+from repro.lang.cfg import Cfg
+from repro.workload.generator import WorkloadGenerator
+
+COMMON_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def generated_cfg(seed: int, edits: int) -> Cfg:
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    generator.generate(edits)
+    return generator.cfg
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       edits=st.integers(min_value=1, max_value=18))
+def test_interval_analysis_is_sound_on_random_programs(seed, edits):
+    domain = IntervalDomain()
+    cfg = generated_cfg(seed, edits)
+    invariants = analyze_cfg(cfg, domain)
+    collected = collecting_semantics(cfg, [ConcreteState()], max_steps=4000)
+    for loc, states in collected.items():
+        for concrete in states:
+            assert domain.models(concrete, invariants[loc])
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       edits=st.integers(min_value=1, max_value=14))
+def test_octagon_analysis_is_sound_on_random_programs(seed, edits):
+    domain = OctagonDomain()
+    cfg = generated_cfg(seed, edits)
+    invariants = analyze_cfg(cfg, domain)
+    collected = collecting_semantics(cfg, [ConcreteState()], max_steps=2500)
+    for loc, states in collected.items():
+        for concrete in states:
+            assert domain.models(concrete, invariants[loc])
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_demanded_results_match_batch_after_random_edits(seed):
+    domain = IntervalDomain()
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    steps = generator.generate(10)
+    cfg = Cfg("main")
+    cfg.add_edge(cfg.entry, A.SkipStmt(), cfg.exit)
+    engine = DaigEngine(cfg, domain)
+    for step in steps:
+        step.edit.apply_to_engine(engine)
+    engine.check_consistency()
+    fresh = analyze_cfg(engine.cfg.copy(), domain)
+    for loc in engine.cfg.reachable_locations():
+        assert domain.equal(engine.query_location(loc), fresh[loc])
+    engine.check_consistency()
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_well_formedness_preserved_by_interleaved_queries_and_edits(seed):
+    domain = SignDomain()
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    steps = generator.generate(8)
+    cfg = Cfg("main")
+    cfg.add_edge(cfg.entry, A.SkipStmt(), cfg.exit)
+    engine = DaigEngine(cfg, domain)
+    for step in steps:
+        step.edit.apply_to_engine(engine)
+        engine.check_consistency()
+        for loc in step.query_locations:
+            engine.query_location(loc)
+        engine.check_consistency()
