@@ -7,12 +7,18 @@ preserving the *shape* of every comparison (which configuration wins, by
 roughly what factor, and where the tails are).  Set the environment
 variables below to run closer to paper scale:
 
-* ``REPRO_BENCH_EDITS``   — edits per trial (paper: 3000; default: 120)
-* ``REPRO_BENCH_TRIALS``  — independent trials (paper: 9; default: 2)
+* ``REPRO_BENCH_EDITS``  — edits per trial (paper: 3000; default: 120)
+* ``REPRO_BENCH_TRIALS`` — independent trials (paper: 9; default: 2)
+* ``REPRO_BENCH_BATCH``  — consecutive edits coalesced into one splice per
+  workload step (default: 1, the paper's one-edit-per-step session)
+* ``REPRO_BENCH_JSON``   — path to dump the latency summaries and work
+  counters (splice-vs-rebuild cell counts) as JSON; CI uploads this as the
+  perf-trajectory artifact (default: ``BENCH_fig10.json`` in the CWD)
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -33,19 +39,46 @@ def workload_scale():
 
 @pytest.fixture(scope="session")
 def fig10_results(workload_scale):
-    """Run the Fig. 10 workload once per session and share it across benches."""
+    """Run the Fig. 10 workload once per session and share it across benches.
+
+    Returns ``{configuration name: [LatencySample, ...]}`` pooled over all
+    trials, and writes the summaries plus each configuration's final work
+    counters (transfers, splice-vs-rebuild cell counts, ...) to the JSON
+    artifact path.
+    """
     from repro.analysis.config import ALL_CONFIGURATIONS
     from repro.domains import OctagonDomain
-    from repro.workload import generate_trials, run_trial
+    from repro.workload import generate_trials, run_trial, summarize
 
     edits, trials = workload_scale
+    batch_size = max(1, _env_int("REPRO_BENCH_BATCH", 1))
     streams = generate_trials(edits=edits, trials=trials, base_seed=0)
     results = {}
+    work = {}
     for configuration_cls in ALL_CONFIGURATIONS:
         samples = []
+        total_work = {}
         for stream in streams:
             configuration = configuration_cls(OctagonDomain())
-            outcome = run_trial(configuration, stream)
+            outcome = run_trial(configuration, stream, batch_size=batch_size)
             samples.extend(outcome.samples)
+            for key, value in outcome.work.items():
+                total_work[key] = total_work.get(key, 0) + value
         results[configuration_cls.name] = samples
+        work[configuration_cls.name] = total_work
+
+    artifact = {
+        "workload": {"edits": edits, "trials": trials, "batch_size": batch_size},
+        "configurations": {
+            name: {
+                "latency_summary": summarize([s.seconds for s in samples]),
+                "samples": len(samples),
+                "work": work[name],
+            }
+            for name, samples in results.items()
+        },
+    }
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_fig10.json")
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
     return results

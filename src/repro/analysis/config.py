@@ -51,11 +51,22 @@ class AnalysisConfiguration(ABC):
     def __init__(self, domain: AbstractDomain, initial_cfg: Optional[Cfg] = None) -> None:
         self.domain = domain
         self.cfg = initial_cfg.copy() if initial_cfg is not None else _empty_program()
+        self._retired_work: Dict[str, int] = {}
 
     @abstractmethod
     def apply_edit(self, edit: ProgramEdit) -> None:
         """Incorporate a program edit (doing whatever re-analysis this
         configuration performs eagerly)."""
+
+    def apply_edits(self, edits: Sequence[ProgramEdit]) -> None:
+        """Incorporate several consecutive edits.
+
+        Configurations built on the DAIG engine override this to coalesce
+        the batch into a single splice (and the from-scratch configurations
+        into a single rebuild); the default applies them one by one.
+        """
+        for edit in edits:
+            self.apply_edit(edit)
 
     @abstractmethod
     def answer_queries(self, locations: Sequence[Loc]) -> Dict[Loc, Any]:
@@ -69,6 +80,35 @@ class AnalysisConfiguration(ABC):
     def program_size(self) -> int:
         return self.cfg.size()
 
+    @staticmethod
+    def _fold_engine_counters(totals: Dict[str, int], engine: Optional[DaigEngine]) -> None:
+        """Accumulate one engine's query and edit counters into ``totals``."""
+        if engine is None:
+            return
+        for counters in (engine.stats.as_dict(), engine.edit_stats.as_dict()):
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+
+    def _retire_engine_work(self) -> None:
+        """Fold the current engine's counters into the running totals.
+
+        From-scratch configurations call this before discarding an engine,
+        so that :meth:`work_stats` reports the work of *every* rebuild, not
+        just the last one.
+        """
+        self._fold_engine_counters(self._retired_work, getattr(self, "engine", None))
+
+    def work_stats(self) -> Dict[str, int]:
+        """Cumulative query/edit work counters (splice-vs-rebuild accounting).
+
+        The sum of every retired engine's counters plus the live engine's —
+        for the incremental configurations that is one long-lived engine;
+        for the from-scratch configurations it covers every rebuild.
+        """
+        totals = dict(self._retired_work)
+        self._fold_engine_counters(totals, getattr(self, "engine", None))
+        return totals
+
 
 class BatchConfiguration(AnalysisConfiguration):
     """Configuration (1): full from-scratch re-analysis after every edit."""
@@ -81,9 +121,17 @@ class BatchConfiguration(AnalysisConfiguration):
         self.apply_edit_count = 0
 
     def apply_edit(self, edit: ProgramEdit) -> None:
-        edit.apply_to_cfg(self.cfg)
-        engine = DaigEngine(self.cfg.copy(), self.domain, memo=MemoTable())
-        self._results = engine.query_all()
+        self.apply_edits([edit])
+
+    def apply_edits(self, edits: Sequence[ProgramEdit]) -> None:
+        # A batch developer who looks at results every k edits re-analyzes
+        # once per batch, not once per keystroke.
+        for edit in edits:
+            edit.apply_to_cfg(self.cfg)
+        self._retire_engine_work()
+        self.engine = None  # free the old DAIG before building its successor
+        self.engine = DaigEngine(self.cfg.copy(), self.domain, memo=MemoTable())
+        self._results = self.engine.query_all()
         self.apply_edit_count += 1
 
     def answer_queries(self, locations: Sequence[Loc]) -> Dict[Loc, Any]:
@@ -106,6 +154,13 @@ class IncrementalConfiguration(AnalysisConfiguration):
         self.cfg = self.engine.cfg
         self._results = self.engine.query_all()
 
+    def apply_edits(self, edits: Sequence[ProgramEdit]) -> None:
+        with self.engine.batch_edits():
+            for edit in edits:
+                edit.apply_to_engine(self.engine)
+        self.cfg = self.engine.cfg
+        self._results = self.engine.query_all()
+
     def answer_queries(self, locations: Sequence[Loc]) -> Dict[Loc, Any]:
         return {loc: self._results.get(loc, self.domain.bottom()) for loc in locations}
 
@@ -121,8 +176,14 @@ class DemandConfiguration(AnalysisConfiguration):
         self.engine = DaigEngine(self.cfg.copy(), self.domain, memo=MemoTable())
 
     def apply_edit(self, edit: ProgramEdit) -> None:
-        edit.apply_to_cfg(self.cfg)
+        self.apply_edits([edit])
+
+    def apply_edits(self, edits: Sequence[ProgramEdit]) -> None:
+        for edit in edits:
+            edit.apply_to_cfg(self.cfg)
         # Dirty the full DAIG: rebuild it (and the memo table) from scratch.
+        self._retire_engine_work()
+        self.engine = None  # free the old DAIG before building its successor
         self.engine = DaigEngine(self.cfg.copy(), self.domain, memo=MemoTable())
 
     def answer_queries(self, locations: Sequence[Loc]) -> Dict[Loc, Any]:
@@ -142,6 +203,12 @@ class IncrementalDemandConfiguration(AnalysisConfiguration):
 
     def apply_edit(self, edit: ProgramEdit) -> None:
         edit.apply_to_engine(self.engine)
+        self.cfg = self.engine.cfg
+
+    def apply_edits(self, edits: Sequence[ProgramEdit]) -> None:
+        with self.engine.batch_edits():
+            for edit in edits:
+                edit.apply_to_engine(self.engine)
         self.cfg = self.engine.cfg
 
     def answer_queries(self, locations: Sequence[Loc]) -> Dict[Loc, Any]:

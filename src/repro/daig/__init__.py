@@ -3,7 +3,7 @@
 from . import names
 from .build import DaigBuilder
 from .edit import InvalidEditError, dirty_forward, write_cell
-from .engine import DaigEngine
+from .engine import DaigEngine, EditStats
 from .graph import (
     Computation,
     Daig,
@@ -16,6 +16,7 @@ from .graph import (
 from .memo import MemoTable
 from .names import Name, fix_name, prejoin_name, prewiden_name, state_name, stmt_name
 from .query import MAX_UNROLLINGS, QueryEvaluator, QueryStats
+from .splice import SpliceReport, StructureSnapshot, splice
 
 __all__ = [
     "names",
@@ -24,6 +25,7 @@ __all__ = [
     "dirty_forward",
     "write_cell",
     "DaigEngine",
+    "EditStats",
     "Computation",
     "Daig",
     "FIX",
@@ -41,4 +43,7 @@ __all__ = [
     "MAX_UNROLLINGS",
     "QueryEvaluator",
     "QueryStats",
+    "SpliceReport",
+    "StructureSnapshot",
+    "splice",
 ]

@@ -237,16 +237,12 @@ class DaigBuilder:
         context = tuple(sorted(
             (h, overrides.get(h, 0))
             for h in self.cfg.containing_loop_heads(head) if h != head))
-        to_remove = []
-        for name in list(daig.refs):
-            if not name.mentions_head_iteration(head, 2):
-                continue
-            if all(item in name.iters or item[0] == head for item in context) or not context:
-                to_remove.append(name)
-        for name in to_remove:
-            daig.remove_computation(name)
-        for name in to_remove:
-            daig.remove_ref(name)
+        to_remove = [
+            name for name in daig.iterated_cells(head, 2)
+            if not context
+            or all(item in name.iters or item[0] == head for item in context)
+        ]
+        daig.remove_region(to_remove)
         iterate0 = self.state_name(head, {**overrides, head: 0})
         iterate1 = self.state_name(head, {**overrides, head: 1})
         daig.replace_computation(fix_cell, FIX, (iterate0, iterate1))

@@ -10,34 +10,61 @@ reuse across both.
 Client queries are phrased in terms of program locations; the engine maps
 them to cell names, forcing loop fixed points to converge (demanded
 unrolling) as needed and returning the invariant the batch interpreter would
-compute (Theorem 6.1).
+compute (Theorem 6.1).  Query evaluation is iterative (an explicit worklist
+in :mod:`repro.daig.query`), so demand chains of arbitrary depth run at the
+interpreter's default recursion limit.
 
 Program edits go through the CFG's structural edit operations; the engine
-then splices the DAIG: the new initial structure is built, every cell whose
-name and defining computation are unchanged keeps its previously computed
-value, and everything downstream of a changed statement or changed structure
-is dirtied (rules E-Commit / E-Propagate / E-Loop), to be recomputed lazily
-on the next query.
+then *splices* the DAIG in place (:mod:`repro.daig.splice`): a structural
+snapshot taken before the edit is diffed against the new CFG, only the
+locations and loops whose encoding changed are re-encoded, and everything
+downstream of the changed region is dirtied (rules E-Commit / E-Propagate /
+E-Loop), to be recomputed lazily on the next query.  Consecutive edits can
+be coalesced into a single splice with :meth:`DaigEngine.batch_edits`.
 """
 
 from __future__ import annotations
 
-import sys
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..domains.base import AbstractDomain
 from ..lang import ast as A
 from ..lang.cfg import Cfg, CfgEdge, Loc
 from .build import DaigBuilder
 from .edit import write_cell
-from .graph import Daig, FIX, TRANSFER
 from .memo import MemoTable
-from .names import Name, TYPE_STMT, stmt_name
+from .names import Name, stmt_name
 from .query import QueryEvaluator, QueryStats
+from .splice import SpliceReport, StructureSnapshot, splice
 
-#: Deep demand chains recurse through Python frames; make sure the
-#: interpreter allows programs of the size the synthetic workload produces.
-_MIN_RECURSION_LIMIT = 50_000
+
+class EditStats:
+    """Counters describing the structural-edit work an engine performed."""
+
+    def __init__(self) -> None:
+        self.edits = 0
+        self.splices = 0
+        self.cells_removed = 0
+        self.cells_added = 0
+        self.cells_dirtied = 0
+        self.last_report: Optional[SpliceReport] = None
+
+    def record(self, report: SpliceReport) -> None:
+        self.splices += 1
+        self.cells_removed += report.cells_removed
+        self.cells_added += report.cells_added
+        self.cells_dirtied += report.cells_dirtied
+        self.last_report = report
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "edits": self.edits,
+            "splices": self.splices,
+            "spliced_cells_removed": self.cells_removed,
+            "spliced_cells_added": self.cells_added,
+            "spliced_cells_dirtied": self.cells_dirtied,
+        }
 
 
 class DaigEngine:
@@ -51,8 +78,6 @@ class DaigEngine:
         entry_state: Optional[Any] = None,
         call_transfer: Optional[Callable[[A.CallStmt, Any], Any]] = None,
     ) -> None:
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         self.cfg = cfg
         self.domain = domain
         self.memo = memo if memo is not None else MemoTable()
@@ -62,13 +87,18 @@ class DaigEngine:
         self.daig = self.builder.build()
         self.evaluator = QueryEvaluator(
             self.daig, self.memo, domain, self.builder, call_transfer)
-        self.edits_applied = 0
+        self.edit_stats = EditStats()
+        self._batch_snapshot: Optional[StructureSnapshot] = None
 
     # -- introspection -------------------------------------------------------------
 
     @property
     def stats(self) -> QueryStats:
         return self.evaluator.stats
+
+    @property
+    def edits_applied(self) -> int:
+        return self.edit_stats.edits
 
     def size(self) -> Tuple[int, int]:
         """``(cells, computations)`` of the current DAIG."""
@@ -78,6 +108,7 @@ class DaigEngine:
 
     def query_cell(self, name: Name) -> Any:
         """Query an arbitrary cell by name (the raw Fig. 8 judgment)."""
+        self._flush_batch()
         return self.evaluator.query(name)
 
     def query_location(self, loc: Loc) -> Any:
@@ -87,6 +118,7 @@ class DaigEngine:
         fixed points to converge and returns the abstract state computed from
         the final iterate, which equals the classical invariant.
         """
+        self._flush_batch()
         if loc not in self.cfg.reachable_locations():
             return self.domain.bottom()
         heads = self.cfg.containing_loop_heads(loc)
@@ -139,6 +171,7 @@ class DaigEngine:
         incoming edges (i.e. the destination is not a join point); the
         general case goes through :meth:`replace_statement`.
         """
+        self._flush_batch()
         indexed = self.cfg.fwd_edges_to(edge.dst)
         index = 0
         for i, candidate in indexed:
@@ -147,27 +180,30 @@ class DaigEngine:
         new_edge = self.cfg.replace_edge_statement(edge, stmt)
         name = stmt_name(edge.src, edge.dst, index)
         write_cell(self.daig, self.builder, name, stmt)
-        self.edits_applied += 1
+        self.edit_stats.edits += 1
         return new_edge
 
     # -- structural edits -------------------------------------------------------------------
 
     def replace_statement(self, edge: CfgEdge, stmt: A.AtomicStmt) -> CfgEdge:
-        """Replace the statement labelling ``edge`` and re-sync the DAIG."""
+        """Replace the statement labelling ``edge`` and re-splice the DAIG."""
+        snapshot = self._begin_structural_edit()
         new_edge = self.cfg.replace_edge_statement(edge, stmt)
-        self._sync_structure()
+        self._finish_structural_edit(snapshot)
         return new_edge
 
     def delete_statement(self, edge: CfgEdge) -> CfgEdge:
         """Delete a statement (replace it with ``skip``), as in Lemma B.2."""
+        snapshot = self._begin_structural_edit()
         new_edge = self.cfg.delete_edge_statement(edge)
-        self._sync_structure()
+        self._finish_structural_edit(snapshot)
         return new_edge
 
     def insert_statement_after(self, loc: Loc, stmt: A.AtomicStmt) -> Loc:
         """Insert a single statement after ``loc``."""
+        snapshot = self._begin_structural_edit()
         cont = self.cfg.insert_statement_after(loc, stmt)
-        self._sync_structure()
+        self._finish_structural_edit(snapshot)
         return cont
 
     def insert_conditional_after(
@@ -178,8 +214,9 @@ class DaigEngine:
         else_stmts: Sequence[A.AtomicStmt] = (),
     ) -> Loc:
         """Insert an if-then-else after ``loc``."""
+        snapshot = self._begin_structural_edit()
         cont = self.cfg.insert_conditional_after(loc, cond, then_stmts, else_stmts)
-        self._sync_structure()
+        self._finish_structural_edit(snapshot)
         return cont
 
     def insert_loop_after(
@@ -189,12 +226,14 @@ class DaigEngine:
         body_stmts: Sequence[A.AtomicStmt],
     ) -> Loc:
         """Insert a while loop after ``loc``."""
+        snapshot = self._begin_structural_edit()
         cont = self.cfg.insert_loop_after(loc, cond, body_stmts)
-        self._sync_structure()
+        self._finish_structural_edit(snapshot)
         return cont
 
     def set_entry_state(self, state: Any) -> None:
         """Change the procedure's entry abstract state (interprocedural use)."""
+        self._flush_batch()
         self._entry_state = state
         self.builder.entry_state = state
         entry_name = self.builder.state_name(self.cfg.entry, {})
@@ -202,39 +241,75 @@ class DaigEngine:
 
     # -- structure synchronization ---------------------------------------------------------
 
-    def _sync_structure(self) -> None:
-        """Splice the DAIG after a CFG edit: keep clean cells, dirty the rest."""
-        self.edits_applied += 1
-        old = self.daig
-        builder = DaigBuilder(self.cfg, self.domain, self._entry_state)
-        new = builder.build()
-        seeds: List[Name] = []
-        for name in new.refs:
-            if name.cell_type() == TYPE_STMT:
-                if name not in old.refs or not old.has_value(name) \
-                        or old.value(name) != new.value(name):
-                    seeds.append(name)
-                continue
-            new_comp = new.defining(name)
-            if new_comp is None:
-                # The entry cell: its value is φ0 in both versions.
-                continue
-            old_comp = old.defining(name) if name in old.refs else None
-            if old_comp is None or old_comp.func != new_comp.func:
-                seeds.append(name)
-                continue
-            if new_comp.func != FIX and old_comp.srcs != new_comp.srcs:
-                seeds.append(name)
-                continue
-            if old.has_value(name):
-                new.set_value(name, old.value(name))
-        for name in new.forward_reachable(seeds):
-            if name.cell_type() != TYPE_STMT:
-                new.clear_value(name)
-        self.daig = new
-        self.builder = builder
-        self.evaluator.daig = new
-        self.evaluator.builder = builder
+    @contextmanager
+    def batch_edits(self) -> Iterator["DaigEngine"]:
+        """Coalesce consecutive structural edits into a single splice.
+
+        Within the ``with`` block, the structural edit methods mutate only
+        the CFG; the DAIG is spliced once, against the pre-batch snapshot,
+        when the block exits.  A query (or cell-level edit) issued inside
+        the block first *flushes* the batch — splicing the edits so far and
+        starting a fresh snapshot — so mid-batch observations are always
+        up to date; only query-free edit runs coalesce into one splice.
+        Re-entrant uses nest into the outermost batch.
+        """
+        if self._batch_snapshot is not None:
+            yield self  # already inside a batch: nest into it
+            return
+        self._batch_snapshot = StructureSnapshot.capture(self.cfg)
+        try:
+            yield self
+        except BaseException as exc:
+            # The CFG edits made before the failure are real; splice so the
+            # DAIG stays in sync with them, then let the caller's exception
+            # propagate.  If the splice itself fails (the block died with
+            # the CFG in a rejectable state), chain it onto the original
+            # instead of silently replacing it.
+            snapshot, self._batch_snapshot = self._batch_snapshot, None
+            try:
+                self._splice_structure(snapshot)
+            except Exception as splice_exc:
+                raise splice_exc from exc
+            raise
+        else:
+            snapshot, self._batch_snapshot = self._batch_snapshot, None
+            self._splice_structure(snapshot)
+
+    def _flush_batch(self) -> None:
+        """Splice any batched edits now, so observers see current state.
+
+        Called by the query and cell-level-edit entry points; a no-op
+        outside a batch.  The batch continues with a snapshot of the
+        just-spliced structure.
+        """
+        if self._batch_snapshot is None:
+            return
+        snapshot = self._batch_snapshot
+        self._batch_snapshot = None
+        self._splice_structure(snapshot)
+        # The splice already snapshotted the post-edit structure; continue
+        # the batch from it instead of capturing the same CFG again.
+        report = self.edit_stats.last_report
+        if report is not None and report.snapshot is not None:
+            self._batch_snapshot = report.snapshot
+        else:
+            self._batch_snapshot = StructureSnapshot.capture(self.cfg)
+
+    def _begin_structural_edit(self) -> Optional[StructureSnapshot]:
+        """Snapshot the CFG encoding, unless a batch already holds one."""
+        if self._batch_snapshot is not None:
+            return None
+        return StructureSnapshot.capture(self.cfg)
+
+    def _finish_structural_edit(self, snapshot: Optional[StructureSnapshot]) -> None:
+        self.edit_stats.edits += 1
+        if snapshot is not None:
+            self._splice_structure(snapshot)
+
+    def _splice_structure(self, snapshot: StructureSnapshot) -> None:
+        """Splice the DAIG after CFG edits: keep clean regions, dirty the rest."""
+        report = splice(self.daig, self.builder, snapshot)
+        self.edit_stats.record(report)
 
     # -- convenience -------------------------------------------------------------------------
 

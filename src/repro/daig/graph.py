@@ -8,6 +8,23 @@ output.  The well-formedness conditions of Definition 4.1 (unique names,
 unique destinations, acyclicity, well-typedness, and "empty cells have a
 defining computation") are checked by :meth:`Daig.check_well_formed`, which
 the property-based tests run after every query and edit (Lemma 6.1).
+
+Beyond the paper's mathematical structure, this implementation maintains
+three auxiliary indices that make incremental edits O(affected region)
+instead of O(graph):
+
+* ``dependents`` — the reverse-dependency index (src name → destinations of
+  computations reading it), used by forward dirtying;
+* ``anchored`` — state-typed cells grouped by the program location they
+  encode, used by structural splicing to find the sub-region belonging to a
+  re-encoded location without scanning all of ``refs``;
+* ``iterated`` — cells grouped by the loop heads for which they carry a
+  nonzero unrolling iteration, used by loop roll-back (rule E-Loop) and by
+  splicing to discard a loop's demanded unrollings in one sweep.
+
+:meth:`Daig.remove_region` removes a whole cell-and-computation subregion
+(the counterpart of re-encoding one via
+:meth:`repro.daig.build.DaigBuilder.encode_incoming`).
 """
 
 from __future__ import annotations
@@ -57,7 +74,9 @@ class Daig:
     ``refs`` is the set of declared reference-cell names; ``values`` holds
     the contents of the non-empty cells; ``computations`` maps each
     destination name to its (unique) defining computation; ``dependents`` is
-    the reverse index used for forward dirtying.
+    the reverse index used for forward dirtying; ``anchored`` and
+    ``iterated`` index state-typed cells by anchor location and by unrolled
+    loop head, so splicing and roll-back touch only the affected region.
     """
 
     def __init__(self) -> None:
@@ -65,11 +84,19 @@ class Daig:
         self.values: Dict[Name, Any] = {}
         self.computations: Dict[Name, Computation] = {}
         self.dependents: Dict[Name, Set[Name]] = {}
+        self.anchored: Dict[int, Set[Name]] = {}
+        self.iterated: Dict[int, Set[Name]] = {}
 
     # -- construction ------------------------------------------------------------
 
     def add_ref(self, name: Name) -> None:
+        if name in self.refs:
+            return
         self.refs.add(name)
+        if name.cell_type() != TYPE_STMT:
+            self.anchored.setdefault(name.anchor(), set()).add(name)
+        for head in name.iteration_heads():
+            self.iterated.setdefault(head, set()).add(name)
 
     def add_computation(self, dest: Name, func: str, srcs: Tuple[Name, ...]) -> None:
         if dest in self.computations:
@@ -80,9 +107,9 @@ class Daig:
                 "cell %s already has a defining computation" % (dest,))
         comp = Computation(dest, func, srcs)
         self.computations[dest] = comp
-        self.refs.add(dest)
+        self.add_ref(dest)
         for src in srcs:
-            self.refs.add(src)
+            self.add_ref(src)
             self.dependents.setdefault(src, set()).add(dest)
 
     def replace_computation(self, dest: Name, func: str, srcs: Tuple[Name, ...]) -> None:
@@ -106,8 +133,36 @@ class Daig:
         self.remove_computation(name)
         self.refs.discard(name)
         self.values.pop(name, None)
+        if name.cell_type() != TYPE_STMT:
+            anchored = self.anchored.get(name.anchor())
+            if anchored is not None:
+                anchored.discard(name)
+                if not anchored:
+                    del self.anchored[name.anchor()]
+        for head in name.iteration_heads():
+            iterated = self.iterated.get(head)
+            if iterated is not None:
+                iterated.discard(name)
+                if not iterated:
+                    del self.iterated[head]
         # Dependents of this name keep their computations; callers removing a
-        # region are responsible for removing those too (roll-back does).
+        # region are responsible for removing those too (remove_region does).
+
+    def remove_region(self, names: Iterable[Name]) -> int:
+        """Remove a cell-and-computation subregion in one sweep.
+
+        All computations are detached first so that the reverse-dependency
+        index never points at a vanished destination, then the cells
+        themselves are dropped.  Names not present are ignored, which lets
+        splicing pass speculative regions.  Returns the number of cells
+        actually removed.
+        """
+        region = [name for name in names if name in self.refs]
+        for name in region:
+            self.remove_computation(name)
+        for name in region:
+            self.remove_ref(name)
+        return len(region)
 
     # -- cell access ---------------------------------------------------------------
 
@@ -130,6 +185,15 @@ class Daig:
 
     def dependents_of(self, name: Name) -> Set[Name]:
         return self.dependents.get(name, set())
+
+    def cells_at(self, loc: int) -> Set[Name]:
+        """All state-typed cells anchored at program location ``loc``."""
+        return self.anchored.get(loc, set())
+
+    def iterated_cells(self, head: int, minimum: int = 1) -> List[Name]:
+        """Cells belonging to iteration >= ``minimum`` of loop ``head``."""
+        return [name for name in self.iterated.get(head, ())
+                if name.mentions_head_iteration(head, minimum)]
 
     # -- structural queries ------------------------------------------------------------
 

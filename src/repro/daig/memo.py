@@ -7,23 +7,39 @@ at a completely different location, or after an edit — can reuse it
 (rule Q-Match) instead of recomputing (rule Q-Miss).
 
 The paper's prototype obtains this table from adapton.ocaml; here it is a
-plain dictionary keyed by the function symbol and the (hashable) input
-values, with hit/miss counters that the benchmarks report.
+plain mapping keyed by the function symbol and the (hashable) input values,
+with hit/miss counters that the benchmarks report.  Because dropping memo
+entries is always sound (Section 2.2 — the worst case is recomputation),
+the table optionally bounds its size with least-recently-used eviction:
+long edit workloads otherwise accumulate entries for abstract states that
+no program version will ever produce again.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 
 class MemoTable:
-    """A finite map from ``f·(v1···vk)`` names to previously computed results."""
+    """A finite map from ``f·(v1···vk)`` names to previously computed results.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``capacity`` bounds the number of retained entries; ``None`` (the
+    default) keeps the table unbounded, matching the paper's semantics.
+    Lookups refresh an entry's recency; stores beyond the capacity evict the
+    least recently used entry and count it in ``evictions``.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("memo capacity must be positive or None")
         self.enabled = enabled
-        self._table: Dict[Tuple[Any, ...], Any] = {}
+        self.capacity = capacity
+        self._table: "OrderedDict[Tuple[Any, ...], Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key(func: str, args: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
@@ -42,6 +58,8 @@ class MemoTable:
         key = self.key(func, args)
         if key is not None and key in self._table:
             self.hits += 1
+            if self.capacity is not None:
+                self._table.move_to_end(key)
             return True, self._table[key]
         self.misses += 1
         return False, None
@@ -50,8 +68,14 @@ class MemoTable:
         if not self.enabled:
             return
         key = self.key(func, args)
-        if key is not None:
-            self._table[key] = value
+        if key is None:
+            return
+        self._table[key] = value
+        if self.capacity is not None:
+            self._table.move_to_end(key)
+            while len(self._table) > self.capacity:
+                self._table.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all cached results (always sound, per Section 2.2)."""
@@ -61,4 +85,10 @@ class MemoTable:
         return len(self._table)
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": len(self._table), "hits": self.hits, "misses": self.misses}
+        return {
+            "entries": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "capacity": -1 if self.capacity is None else self.capacity,
+        }

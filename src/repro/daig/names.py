@@ -77,6 +77,32 @@ class Name:
             return self.aux
         return 0
 
+    def anchor(self) -> int:
+        """The program location this cell's region is anchored at.
+
+        State, pre-join, fix, and pre-widening cells belong to the encoding
+        of their ``loc`` (statement cells belong to an *edge* and are indexed
+        separately by the splicer).
+        """
+        return self.loc
+
+    def is_base_copy(self) -> bool:
+        """Whether this cell belongs to the initial (all-zero-iteration)
+        encoding rather than to a demanded unrolling of some loop."""
+        return all(count == 0 for _, count in self.iters)
+
+    def iteration_heads(self) -> Tuple[int, ...]:
+        """Loop heads for which this cell carries a nonzero iteration.
+
+        Pre-widening cells always belong to an iterate of their own head
+        (their ``aux`` is the 1-based widening step), mirroring
+        :meth:`mentions_head_iteration`.
+        """
+        heads = tuple(key for key, value in self.iters if value >= 1)
+        if self.kind == PREWIDEN and self.aux >= 1:
+            heads += (self.loc,)
+        return heads
+
     def mentions_head_iteration(self, head: int, minimum: int) -> bool:
         """Whether this name belongs to iteration >= ``minimum`` of ``head``."""
         for key, value in self.iters:

@@ -14,6 +14,15 @@
   reissued; convergence of the underlying widening bounds the number of
   unrollings (Theorem 6.3).
 
+The judgment is evaluated *iteratively*: an explicit stack of demanded cell
+names replaces the recursive formulation, so a demand chain as long as the
+program (a straight-line method with tens of thousands of statements) runs
+at Python's default recursion limit.  Because only one unevaluated input is
+pushed at a time, the stack always spells out the current demand path,
+which gives exact cycle detection: a dependency cycle (impossible in a
+well-formed DAIG, Definition 4.1) raises :class:`IllFormedDaigError`
+instead of looping.
+
 Call statements are special-cased: their abstract effect may depend on a
 callee analysis (Section 7.1), so the evaluator accepts a ``call_transfer``
 hook and never memoizes call transfers in the location-independent table.
@@ -21,7 +30,7 @@ hook and never memoizes call transfers in the location-independent table.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..domains.base import AbstractDomain
 from ..lang import ast as A
@@ -78,20 +87,99 @@ class QueryEvaluator:
     # -- the query judgment ------------------------------------------------------------
 
     def query(self, name: Name) -> Any:
-        """Request the value of cell ``name``, computing dependencies on demand."""
-        if self.daig.has_value(name):
+        """Request the value of cell ``name``, computing dependencies on demand.
+
+        The evaluation is a depth-first walk over the demanded sub-DAIG with
+        an explicit stack; at every step the stack's top is the judgment
+        currently being derived and the stack below it is the demand path
+        that led there.
+        """
+        daig = self.daig
+        if daig.has_value(name):
             self.stats.cells_reused += 1
-            return self.daig.value(name)
-        comp = self.daig.defining(name)
-        if comp is None:
-            raise IllFormedDaigError("query for undefined empty cell %s" % (name,))
-        if comp.func == FIX:
-            return self._query_fix(name, comp)
-        args = tuple(self.query(src) for src in comp.srcs)
-        value = self._evaluate(comp, args)
-        self.daig.set_value(name, value)
-        self.stats.cells_computed += 1
-        return value
+            return daig.value(name)
+        unrollings: Dict[Name, int] = {}
+        stack: List[Name] = [name]
+        on_path: Set[Name] = {name}
+        # Which demanding cell caused each computation, so that input reads
+        # count as Q-Reuse exactly as in the recursive judgment: every
+        # demanded read of a cell is a reuse unless this very demand is the
+        # one that computed it.
+        pushed_by: Dict[Name, Name] = {}
+        while stack:
+            current = stack[-1]
+            if daig.has_value(current):
+                # Computed while pending (shared input of an earlier sibling).
+                stack.pop()
+                on_path.discard(current)
+                continue
+            comp = daig.defining(current)
+            if comp is None:
+                raise IllFormedDaigError(
+                    "query for undefined empty cell %s" % (current,))
+            pending = next(
+                (src for src in comp.srcs if not daig.has_value(src)), None)
+            if pending is not None:
+                if pending in on_path:
+                    raise IllFormedDaigError(
+                        "dependency cycle through %s" % (pending,))
+                stack.append(pending)
+                on_path.add(pending)
+                pushed_by[pending] = current
+                continue
+            self._count_input_reuse(current, comp, pushed_by)
+            if comp.func == FIX:
+                self._step_fix(current, comp, unrollings)
+                continue  # either converged (valued) or unrolled (new inputs)
+            args = tuple(daig.value(src) for src in comp.srcs)
+            value = self._evaluate(comp, args)
+            daig.set_value(current, value)
+            self.stats.cells_computed += 1
+            stack.pop()
+            on_path.discard(current)
+        return daig.value(name)
+
+    def _count_input_reuse(self, current: Name, comp: Computation,
+                           pushed_by: Dict[Name, Name]) -> None:
+        """Count Q-Reuse for ``current``'s input reads.
+
+        An input read is a reuse when the cell already held a value before
+        ``current`` demanded it — i.e. it was filled by an earlier query, or
+        computed during this walk on behalf of a *different* demander.  An
+        input ``current`` itself pushed was just counted as computed, so the
+        attribution is consumed to keep later fix re-reads counting as reuse.
+        """
+        for src in comp.srcs:
+            if pushed_by.get(src) is current:
+                del pushed_by[src]
+            else:
+                self.stats.cells_reused += 1
+
+    def _step_fix(self, name: Name, comp: Computation,
+                  unrollings: Dict[Name, int]) -> None:
+        """One Q-Loop step for a ``fix`` cell whose iterates are available.
+
+        Writes the fixed point into the cell on convergence
+        (Q-Loop-Converge); otherwise unrolls the loop by one iteration
+        (Q-Loop-Unroll), replacing the cell's defining computation so the
+        caller's next look at the cell demands the new greatest iterate.
+        """
+        first = self.daig.value(comp.srcs[0])
+        second = self.daig.value(comp.srcs[1])
+        if self.domain.equal(first, second):
+            self.daig.set_value(name, second)
+            self.stats.cells_computed += 1
+            return
+        count = unrollings.get(name, 0) + 1
+        if count > MAX_UNROLLINGS:
+            raise IllFormedDaigError(
+                "loop at head %d did not converge within %d demanded unrollings"
+                % (name.loc, MAX_UNROLLINGS))
+        unrollings[name] = count
+        self.stats.unrollings += 1
+        self.builder.unroll(self.daig, name.loc, dict(name.iters))
+        if self.daig.defining(name) is None:
+            raise IllFormedDaigError("fix cell lost its computation: %s" % (name,))
 
     def _evaluate(self, comp: Computation, args: Tuple[Any, ...]) -> Any:
         is_call = comp.func == TRANSFER and isinstance(args[0], A.CallStmt)
@@ -122,22 +210,3 @@ class QueryEvaluator:
             self.stats.widens += 1
             return self.domain.widen(args[0], args[1])
         raise IllFormedDaigError("cannot apply function %r" % (func,))
-
-    def _query_fix(self, name: Name, comp: Computation) -> Any:
-        """Q-Loop-Converge / Q-Loop-Unroll."""
-        for _attempt in range(MAX_UNROLLINGS):
-            first = self.query(comp.srcs[0])
-            second = self.query(comp.srcs[1])
-            if self.domain.equal(first, second):
-                self.daig.set_value(name, second)
-                self.stats.cells_computed += 1
-                return second
-            self.stats.unrollings += 1
-            overrides = dict(name.iters)
-            self.builder.unroll(self.daig, name.loc, overrides)
-            comp = self.daig.defining(name)
-            if comp is None:
-                raise IllFormedDaigError("fix cell lost its computation: %s" % (name,))
-        raise IllFormedDaigError(
-            "loop at head %d did not converge within %d demanded unrollings"
-            % (name.loc, MAX_UNROLLINGS))

@@ -1,0 +1,237 @@
+"""Incremental DAIG splicing: structural edits without a full rebuild.
+
+A structural CFG edit (insert / delete / re-label edges) invalidates only
+the DAIG sub-regions whose *encoding* changed — everything else keeps both
+its structure and its previously computed values (rules E-Commit /
+E-Propagate / E-Loop applied at the granularity of whole regions).  This
+module turns that observation into an algorithm:
+
+1. **Snapshot** (:meth:`StructureSnapshot.capture`) — before the CFG
+   mutates, record a cheap structural *signature* per location (how its
+   incoming forward edges are encoded: statement cells, pre-join indices,
+   source cells) and per loop head (how its back edge is encoded), plus the
+   statement labelling every edge.  Signatures are plain tuples over
+   locations — no DAIG construction, no abstract-domain work.
+2. **Delta** (:func:`splice`) — after the mutation, recompute signatures
+   against the new CFG and diff: locations whose signature changed (or that
+   appeared / vanished) need re-encoding; loop heads whose loop gained or
+   lost members, or whose back-edge encoding changed, have their iterate
+   chain reset to the initial two-iterate form; edges whose statement
+   changed become dirtying seeds without any structural work.
+3. **Splice** — remove exactly the stale cell regions (via the
+   :class:`~repro.daig.graph.Daig` region indices), re-encode the dirty
+   locations and affected loops with the ordinary
+   :class:`~repro.daig.build.DaigBuilder` encoding rules, then dirty the
+   cells downstream of every seed through the reverse-dependency index
+   (:func:`repro.daig.edit.dirty_forward`).
+
+The result is bit-identical to rebuilding the DAIG from scratch and
+copying over unchanged values — the old engine behaviour — with all
+*DAIG-side* work (cell removal, re-encoding, dirtying, and the abstract
+recomputation a later query performs) proportional to the edit's impacted
+region, and unaffected loops keeping their demanded unrollings instead of
+being rolled back wholesale.  The snapshot-and-diff itself still walks the
+reachable CFG once per side — cheap tuple comparisons with no domain work —
+so per-edit latency retains an O(program) term, like the CFG's own
+dominator/loop re-analysis; making both incremental is a ROADMAP item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang.cfg import Cfg
+from . import names as N
+from .build import DaigBuilder
+from .edit import dirty_forward
+from .graph import Daig
+
+#: A per-location encoding signature: how `encode_incoming` would encode the
+#: location's incoming forward edges, as a tuple of primitive data.  Two
+#: equal signatures produce identical cell names and computations.
+LocSig = Tuple
+#: A per-head loop signature: how `build_loop_structures` would encode the
+#: loop's back edge.
+LoopSig = Tuple
+#: Identifies a statement cell: (edge src, edge dst, pre-join index or 0).
+StmtKey = Tuple[int, int, int]
+
+
+def _source_key(cfg: Cfg, src: int, dst: int) -> Tuple:
+    """Signature of ``DaigBuilder.source_name(src, dst, ...)``.
+
+    The source cell's name is determined by whether the edge leaves a loop
+    through its head (footnote 5: read the fixed point) and by the source's
+    enclosing loop heads (which index its state cell).
+    """
+    if src in cfg.loop_heads() and dst not in cfg.natural_loop(src):
+        return ("fix", src, cfg.containing_loop_heads(src))
+    return ("state", src, cfg.containing_loop_heads(src))
+
+
+def _loc_signature(cfg: Cfg, loc: int) -> Optional[LocSig]:
+    """Signature of ``encode_incoming(loc)``; None when there is nothing to
+    encode (only the entry location, which holds φ0 directly)."""
+    edges = cfg.fwd_edges_to(loc)
+    if not edges:
+        return None
+    return (
+        cfg.containing_loop_heads(loc),
+        tuple((index, edge.src, edge.dst) for index, edge in edges),
+        tuple(_source_key(cfg, edge.src, loc) for _index, edge in edges),
+    )
+
+
+def _loop_signature(cfg: Cfg, head: int) -> LoopSig:
+    """Signature of ``build_loop_structures(head)``."""
+    back = cfg.back_edges_to(head)
+    return (
+        cfg.containing_loop_heads(head),
+        tuple((edge.src, edge.dst) for edge in back),
+        tuple(_source_key(cfg, edge.src, head) for edge in back),
+    )
+
+
+def _stmt_cells(cfg: Cfg) -> Dict[StmtKey, Any]:
+    """Map every encoded statement cell to the statement it holds."""
+    cells: Dict[StmtKey, Any] = {}
+    for loc in cfg.reachable_locations():
+        edges = cfg.fwd_edges_to(loc)
+        for index, edge in edges:
+            key = (edge.src, edge.dst, index if len(edges) > 1 else 0)
+            cells[key] = edge.stmt
+    for head in cfg.loop_heads():
+        for edge in cfg.back_edges_to(head):
+            cells[(edge.src, edge.dst, 0)] = edge.stmt
+    return cells
+
+
+@dataclass
+class StructureSnapshot:
+    """The structural encoding of a CFG, captured before an edit."""
+
+    reachable: FrozenSet[int]
+    loc_sigs: Dict[int, Optional[LocSig]]
+    loop_sigs: Dict[int, LoopSig]
+    stmt_cells: Dict[StmtKey, Any]
+    natural_loops: Dict[int, FrozenSet[int]]
+
+    @classmethod
+    def capture(cls, cfg: Cfg) -> "StructureSnapshot":
+        reachable = frozenset(cfg.reachable_locations())
+        heads = [h for h in cfg.loop_heads() if h in reachable]
+        return cls(
+            reachable=reachable,
+            loc_sigs={loc: _loc_signature(cfg, loc) for loc in reachable},
+            loop_sigs={h: _loop_signature(cfg, h) for h in heads},
+            stmt_cells=_stmt_cells(cfg),
+            natural_loops={h: frozenset(cfg.natural_loop(h)) for h in heads},
+        )
+
+
+@dataclass
+class SpliceReport:
+    """What one splice did, for the engine's edit statistics."""
+
+    dirty_locations: int = 0
+    cells_removed: int = 0
+    cells_added: int = 0
+    cells_dirtied: int = 0
+    values_retained: int = 0
+    seeds: List[N.Name] = field(default_factory=list)
+    #: The post-edit structure snapshot, so a continuing batch can reuse it
+    #: instead of re-capturing the same CFG.
+    snapshot: Optional[StructureSnapshot] = None
+
+
+def splice(daig: Daig, builder: DaigBuilder,
+           old: StructureSnapshot) -> SpliceReport:
+    """Splice ``daig`` in place to match ``builder.cfg`` after an edit.
+
+    ``old`` must have been captured from the same CFG object *before* the
+    structural edit(s) were applied.  On return the DAIG is well-formed for
+    the new CFG, every cell whose encoding survived keeps its value, and
+    everything downstream of the edit is dirtied for lazy recomputation.
+    """
+    cfg = builder.cfg
+    cfg.check_reducible()
+    builder.check_loop_exits()
+    if cfg.entry in cfg.loop_heads() or cfg.in_any_loop(cfg.entry):
+        raise ValueError("the entry location may not belong to a loop")
+    new = StructureSnapshot.capture(cfg)
+    report = SpliceReport(snapshot=new)
+
+    # -- delta ---------------------------------------------------------------
+    removed_locs = old.reachable - new.reachable
+    added_locs = new.reachable - old.reachable
+    changed_locs = {
+        loc for loc in old.reachable & new.reachable
+        if old.loc_sigs[loc] != new.loc_sigs[loc]
+    }
+    dirty_locs = added_locs | changed_locs
+
+    removed_heads = set(old.loop_sigs) - set(new.loop_sigs)
+    affected_heads: Set[int] = set()
+    for head, sig in new.loop_sigs.items():
+        if old.loop_sigs.get(head) != sig:
+            affected_heads.add(head)
+        elif new.natural_loops[head] & dirty_locs:
+            affected_heads.add(head)
+        elif old.natural_loops.get(head, frozenset()) & removed_locs:
+            affected_heads.add(head)
+
+    stale_stmts = set(old.stmt_cells) - set(new.stmt_cells)
+    relabelled_stmts = [
+        key for key, stmt in new.stmt_cells.items()
+        if key in old.stmt_cells and old.stmt_cells[key] != stmt
+    ]
+
+    if not (dirty_locs or removed_locs or affected_heads or removed_heads
+            or stale_stmts or relabelled_stmts):
+        report.values_retained = len(daig.values)
+        return report
+
+    # -- remove stale regions ------------------------------------------------
+    to_remove: Set[N.Name] = set()
+    for loc in removed_locs | changed_locs:
+        for name in daig.cells_at(loc):
+            if name.kind in (N.STATE, N.PREJOIN) and name.is_base_copy():
+                to_remove.add(name)
+    for head in removed_heads | affected_heads:
+        for name in daig.cells_at(head):
+            if name.kind in (N.FIX, N.PREWIDEN) and name.is_base_copy():
+                to_remove.add(name)
+        # Every demanded unrolling of an affected loop is stale (E-Loop),
+        # including the initial iterate-1 chain, which is rebuilt below.
+        to_remove.update(daig.iterated_cells(head, 1))
+    for src, dst, index in stale_stmts:
+        to_remove.add(N.stmt_name(src, dst, index))
+    report.cells_removed = daig.remove_region(to_remove)
+
+    # -- re-encode the dirty regions ----------------------------------------
+    cells_before = len(daig.refs)
+    for loc in sorted(dirty_locs):
+        if loc != cfg.entry:
+            builder.encode_incoming(daig, loc, {})
+    for head in sorted(affected_heads):
+        builder.build_loop_structures(daig, head, {})
+    report.cells_added = len(daig.refs) - cells_before
+    report.dirty_locations = len(dirty_locs)
+
+    # -- update re-labelled statement cells and dirty downstream -------------
+    seeds: List[N.Name] = []
+    for key in relabelled_stmts:
+        name = N.stmt_name(*key)
+        if name in daig.refs:
+            daig.set_value(name, new.stmt_cells[key])
+            seeds.append(name)
+    for loc in sorted(dirty_locs):
+        if loc != cfg.entry:
+            seeds.append(builder.state_name(loc, {}))
+    for head in sorted(affected_heads):
+        seeds.append(builder.fix_name(head, {}))
+    report.seeds = seeds
+    report.cells_dirtied = len(dirty_forward(daig, builder, seeds))
+    report.values_retained = len(daig.values)
+    return report

@@ -154,15 +154,19 @@ class InterproceduralEngine:
     ) -> None:
         """Apply ``edit`` to every analysis of ``procedure`` and propagate.
 
-        ``edit`` receives each (procedure, context) engine in turn; after the
-        edit, every transitive caller has the cells downstream of its call
-        sites to ``procedure`` dirtied, so stale summaries are recomputed on
-        the next query (lazily, exactly like intraprocedural dirtying).
+        ``edit`` receives each (procedure, context) engine in turn, inside a
+        :meth:`~repro.daig.engine.DaigEngine.batch_edits` block so that an
+        edit callback performing several structural edits costs one splice
+        per engine; after the edit, every transitive caller has the cells
+        downstream of its call sites to ``procedure`` dirtied, so stale
+        summaries are recomputed on the next query (lazily, exactly like
+        intraprocedural dirtying).
         """
         touched: List[ProcedureKey] = []
         for key, engine in self.engines.items():
             if key[0] == procedure:
-                edit(engine)
+                with engine.batch_edits():
+                    edit(engine)
                 touched.append(key)
         # Also keep the master CFG in sync for future engine constructions.
         if touched:
@@ -192,10 +196,12 @@ class InterproceduralEngine:
     # -- statistics ----------------------------------------------------------------------
 
     def total_stats(self) -> Dict[str, int]:
-        """Aggregate query statistics over every constructed DAIG."""
+        """Aggregate query and edit statistics over every constructed DAIG."""
         totals: Dict[str, int] = {}
         for engine in self.engines.values():
             for key, value in engine.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+            for key, value in engine.edit_stats.as_dict().items():
                 totals[key] = totals.get(key, 0) + value
         totals["daigs"] = len(self.engines)
         return totals

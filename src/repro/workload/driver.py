@@ -4,7 +4,15 @@ This is the harness behind the Fig. 10 experiments: it feeds the *same*
 pre-generated stream of edits and queries (fixed random seeds, as in the
 paper) to each analysis configuration, times every step, and collects
 ``(program size, latency)`` samples for the summary table, the CDF, and the
-scatter series.
+scatter series.  Each trial also records the configuration's final work
+counters (transfers, splice-vs-rebuild cell counts, ...), so the benchmarks
+can report *how much* analysis each configuration actually performed, not
+just how long it took.
+
+``run_trial(..., batch_size=k)`` coalesces each ``k`` consecutive edits into
+one :meth:`~repro.analysis.config.AnalysisConfiguration.apply_edits` call —
+for the DAIG-backed configurations, a single splice — modelling a developer
+who pauses to look at analysis results only every few keystrokes.
 """
 
 from __future__ import annotations
@@ -27,6 +35,9 @@ class WorkloadResult:
     configuration: str
     trial_seed: int
     samples: List[LatencySample] = field(default_factory=list)
+    #: The configuration's cumulative work counters at the end of the trial
+    #: (query stats plus splice-vs-rebuild cell counts for DAIG engines).
+    work: Dict[str, int] = field(default_factory=dict)
 
     def latencies(self) -> List[float]:
         return [sample.seconds for sample in self.samples]
@@ -41,21 +52,34 @@ def run_trial(
     seed: int = 0,
     clock: Callable[[], float] = time.perf_counter,
     progress: Optional[Callable[[int, float], None]] = None,
+    batch_size: int = 1,
 ) -> WorkloadResult:
     """Run ``steps`` against ``configuration``, timing each step.
 
     Every step's latency covers the work the configuration does in response
     to the edit plus answering the five queries (eager configurations do all
     their work in the edit phase; demand-driven ones in the query phase).
+    With ``batch_size > 1``, consecutive edits are applied as one batch and
+    the queries of the batch's last step are answered; the sample then covers
+    the whole batch.
     """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
     result = WorkloadResult(configuration.name, seed)
-    for step in steps:
+    for start in range(0, len(steps), batch_size):
+        chunk = steps[start:start + batch_size]
+        last = chunk[-1]
         started = clock()
-        configuration.step(step.edit, step.query_locations)
+        if len(chunk) == 1:
+            configuration.step(last.edit, last.query_locations)
+        else:
+            configuration.apply_edits([step.edit for step in chunk])
+            configuration.answer_queries(last.query_locations)
         elapsed = clock() - started
-        result.samples.append(LatencySample(step.program_size, elapsed))
+        result.samples.append(LatencySample(last.program_size, elapsed))
         if progress is not None:
-            progress(step.index, elapsed)
+            progress(last.index, elapsed)
+    result.work = configuration.work_stats()
     return result
 
 

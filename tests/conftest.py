@@ -1,8 +1,15 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Program sources and random-CFG factories live in :mod:`helpers` (importable
+thanks to the ``pythonpath`` setting in ``pyproject.toml``); this module only
+defines pytest fixtures on top of them.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+from helpers import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE  # noqa: F401
 
 from repro.domains import (
     ConstantDomain,
@@ -11,53 +18,8 @@ from repro.domains import (
     ShapeDomain,
     SignDomain,
 )
-from repro.lang import build_cfg, build_program_cfgs, parse_program
-from repro.lang.programs import append_program, array_program, list_program
-from repro.workload.generator import WorkloadGenerator
-
-#: A small looping program used across many tests.
-LOOP_SOURCE = """
-function main() {
-  var i = 0;
-  var total = 0;
-  while (i < 10) {
-    total = total + i;
-    i = i + 1;
-  }
-  return total;
-}
-"""
-
-#: Straight-line program with a conditional join.
-BRANCH_SOURCE = """
-function main(flag) {
-  var x = 0;
-  if (flag > 0) {
-    x = 1;
-  } else {
-    x = 2;
-  }
-  var y = x + 3;
-  return y;
-}
-"""
-
-#: Nested loops.
-NESTED_SOURCE = """
-function main() {
-  var i = 0;
-  var total = 0;
-  while (i < 3) {
-    var j = 0;
-    while (j < 4) {
-      total = total + 1;
-      j = j + 1;
-    }
-    i = i + 1;
-  }
-  return total;
-}
-"""
+from repro.lang import build_cfg, parse_program
+from repro.lang.programs import append_program
 
 
 @pytest.fixture
@@ -103,17 +65,3 @@ def octagon_domain():
 @pytest.fixture
 def shape_domain():
     return ShapeDomain()
-
-
-def random_cfg(seed: int, edits: int):
-    """A random CFG produced by applying `edits` workload edits from `seed`."""
-    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
-    generator.generate(edits)
-    return generator.cfg
-
-
-def random_workload(seed: int, edits: int):
-    """A random workload stream plus the generator that produced it."""
-    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
-    steps = generator.generate(edits)
-    return generator, steps

@@ -7,7 +7,7 @@ from repro.lang import build_cfg, parse_program
 from repro.lang.cfg import Cfg, IrreducibleCfgError
 from repro.lang.programs import append_program
 
-from conftest import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE, random_cfg
+from helpers import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE, random_cfg
 
 
 class TestLowering:

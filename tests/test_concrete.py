@@ -20,7 +20,7 @@ from repro.lang import ast as A
 from repro.lang import build_cfg, build_program_cfgs, parse_expression, parse_program
 from repro.lang.programs import append_program, array_program
 
-from conftest import LOOP_SOURCE
+from helpers import LOOP_SOURCE
 
 
 def evaluate(source: str, **bindings):

@@ -25,7 +25,7 @@ from repro.lang import ast as A
 from repro.lang import build_cfg, build_program_cfgs, parse_program
 from repro.lang.programs import append_program, array_program, list_program
 
-from conftest import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE, random_cfg
+from helpers import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE, random_cfg
 
 
 class TestInitialConstruction:

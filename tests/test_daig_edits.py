@@ -15,7 +15,7 @@ from repro.lang import ast as A
 from repro.lang import build_cfg, build_program_cfgs, parse_expression, parse_program
 from repro.lang.programs import array_program
 
-from conftest import LOOP_SOURCE, NESTED_SOURCE, random_workload
+from helpers import LOOP_SOURCE, NESTED_SOURCE, random_workload
 
 
 class TestCellLevelEdits:
@@ -190,6 +190,39 @@ class TestIncrementalConsistencyOverRandomEditSequences:
             for loc in step.query_locations:
                 assert domain.equal(engine.query_location(loc), fresh[loc]), (
                     "divergence at %d after %s" % (loc, step.edit.describe()))
+
+    def test_spliced_query_all_equals_fresh_engine_after_every_edit(
+            self, domain_cls, seed):
+        """After each splice, exhaustive results match a from-scratch engine
+        at every location, and the DAIG stays well-formed."""
+        domain = domain_cls()
+        generator, steps = random_workload(seed + 50, edits=12)
+        engine = DaigEngine(_empty_cfg(), domain)
+        for step in steps:
+            step.edit.apply_to_engine(engine)
+            engine.check_consistency()
+            spliced = engine.query_all()
+            fresh_engine = DaigEngine(engine.cfg.copy(), domain_cls())
+            fresh = fresh_engine.query_all()
+            assert set(spliced) == set(fresh)
+            for loc in spliced:
+                assert domain.equal(spliced[loc], fresh[loc]), (
+                    "divergence at %d after %s" % (loc, step.edit.describe()))
+            engine.check_consistency()
+
+    def test_batched_edit_stream_matches_from_scratch(self, domain_cls, seed):
+        """Coalescing a whole stream into one splice is equivalent too."""
+        domain = domain_cls()
+        generator, steps = random_workload(seed + 100, edits=15)
+        engine = DaigEngine(_empty_cfg(), domain)
+        with engine.batch_edits():
+            for step in steps:
+                step.edit.apply_to_engine(engine)
+        assert engine.edit_stats.splices == 1
+        engine.check_consistency()
+        fresh = analyze_cfg(engine.cfg.copy(), domain)
+        for loc in engine.cfg.reachable_locations():
+            assert domain.equal(engine.query_location(loc), fresh[loc])
 
 
 def _empty_cfg():

@@ -5,7 +5,7 @@ from repro.daig.render import describe_dirty_frontier, summarize_daig, to_dot
 from repro.lang import ast as A
 from repro.lang import build_cfg, parse_program
 
-from conftest import LOOP_SOURCE
+from helpers import LOOP_SOURCE
 
 
 def make_engine(interval_domain):

@@ -16,7 +16,7 @@ from repro.lang import ast as A
 from repro.lang import build_cfg, parse_expression, parse_program
 from repro.lang.programs import array_program
 
-from conftest import BRANCH_SOURCE, LOOP_SOURCE
+from helpers import BRANCH_SOURCE, LOOP_SOURCE
 
 
 def transfer_sequence(domain, statements, state=None):

@@ -11,7 +11,7 @@ from repro.lang import ast as A
 from repro.lang import build_cfg, build_program_cfgs, parse_expression, parse_program
 from repro.lang.programs import array_program
 
-from conftest import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE
+from helpers import BRANCH_SOURCE, LOOP_SOURCE, NESTED_SOURCE
 
 
 @pytest.fixture

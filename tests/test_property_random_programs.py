@@ -82,6 +82,58 @@ def test_demanded_results_match_batch_after_random_edits(seed):
 
 @settings(**COMMON_SETTINGS)
 @given(seed=st.integers(min_value=0, max_value=10_000))
+def test_spliced_query_all_equals_fresh_engine_after_each_edit(seed):
+    """After every random edit, the spliced DAIG answers every location
+    exactly like a from-scratch engine, and stays well-formed."""
+    domain = IntervalDomain()
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    steps = generator.generate(6)
+    cfg = Cfg("main")
+    cfg.add_edge(cfg.entry, A.SkipStmt(), cfg.exit)
+    engine = DaigEngine(cfg, domain)
+    for step in steps:
+        step.edit.apply_to_engine(engine)
+        engine.check_consistency()
+        spliced = engine.query_all()
+        fresh = DaigEngine(engine.cfg.copy(), IntervalDomain()).query_all()
+        assert set(spliced) == set(fresh)
+        for loc in spliced:
+            assert domain.equal(spliced[loc], fresh[loc])
+        engine.check_consistency()
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       batch=st.integers(min_value=2, max_value=6))
+def test_batched_splices_agree_with_per_edit_splices(seed, batch):
+    """Coalescing consecutive edits into one splice never changes results."""
+    domain = IntervalDomain()
+    generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+    steps = generator.generate(batch * 2)
+    single = DaigEngine(_seed_cfg(), domain)
+    batched = DaigEngine(_seed_cfg(), domain)
+    for start in range(0, len(steps), batch):
+        chunk = steps[start:start + batch]
+        for step in chunk:
+            step.edit.apply_to_engine(single)
+        with batched.batch_edits():
+            for step in chunk:
+                step.edit.apply_to_engine(batched)
+        batched.check_consistency()
+        left, right = single.query_all(), batched.query_all()
+        assert set(left) == set(right)
+        for loc in left:
+            assert domain.equal(left[loc], right[loc])
+
+
+def _seed_cfg():
+    cfg = Cfg("main")
+    cfg.add_edge(cfg.entry, A.SkipStmt(), cfg.exit)
+    return cfg
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
 def test_well_formedness_preserved_by_interleaved_queries_and_edits(seed):
     domain = SignDomain()
     generator = WorkloadGenerator(seed=seed, call_probability=0.0)
