@@ -55,17 +55,22 @@ def fig10_results(workload_scale):
     streams = generate_trials(edits=edits, trials=trials, base_seed=0)
     results = {}
     work = {}
+    phases = {}
     for configuration_cls in ALL_CONFIGURATIONS:
         samples = []
         total_work = {}
+        total_phases = {}
         for stream in streams:
             configuration = configuration_cls(OctagonDomain())
             outcome = run_trial(configuration, stream, batch_size=batch_size)
             samples.extend(outcome.samples)
             for key, value in outcome.work.items():
                 total_work[key] = total_work.get(key, 0) + value
+            for key, value in outcome.phases.items():
+                total_phases[key] = total_phases.get(key, 0.0) + value
         results[configuration_cls.name] = samples
         work[configuration_cls.name] = total_work
+        phases[configuration_cls.name] = total_phases
 
     artifact = {
         "workload": {"edits": edits, "trials": trials, "batch_size": batch_size},
@@ -74,6 +79,10 @@ def fig10_results(workload_scale):
                 "latency_summary": summarize([s.seconds for s in samples]),
                 "samples": len(samples),
                 "work": work[name],
+                # Per-phase latency breakdown (structure update / snapshot
+                # update / splice / query), so future PRs can see which
+                # phase regressed, not just the end-to-end latency.
+                "phases": phases[name],
             }
             for name, samples in results.items()
         },

@@ -43,14 +43,23 @@ def main(edits: int = 60) -> None:
 
     rows = {}
     latencies = {}
+    phases = {}
     for name, configuration in configurations.items():
         result = run_trial(configuration, steps)
         latencies[name] = result.latencies()
         rows[name] = summarize(result.latencies())
+        phases[name] = result.phases
         print("%-14s done (total %.2fs)" % (name, sum(result.latencies())))
 
     print("\nPer-step analysis latency (seconds):")
     print(format_summary_table(rows))
+
+    print("\nPer-phase breakdown (seconds: structure / snapshot / splice / query):")
+    for name in configurations:
+        split = phases[name]
+        print("  %-14s %8.3f %8.3f %8.3f %8.3f" % (
+            name, split.get("structure", 0.0), split.get("snapshot", 0.0),
+            split.get("splice", 0.0), split.get("query", 0.0)))
 
     threshold = rows["incr+demand"]["p95"]
     print("\nFraction of steps answered within the incr+demand p95 (%.3fs):"

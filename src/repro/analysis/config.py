@@ -52,6 +52,7 @@ class AnalysisConfiguration(ABC):
         self.domain = domain
         self.cfg = initial_cfg.copy() if initial_cfg is not None else _empty_program()
         self._retired_work: Dict[str, int] = {}
+        self._retired_phases: Dict[str, float] = {}
 
     @abstractmethod
     def apply_edit(self, edit: ProgramEdit) -> None:
@@ -89,6 +90,14 @@ class AnalysisConfiguration(ABC):
             for key, value in counters.items():
                 totals[key] = totals.get(key, 0) + value
 
+    @staticmethod
+    def _fold_engine_phases(totals: Dict[str, float], engine: Optional[DaigEngine]) -> None:
+        """Accumulate one engine's per-phase wall-clock split into ``totals``."""
+        if engine is None:
+            return
+        for key, value in engine.phase_seconds().items():
+            totals[key] = totals.get(key, 0.0) + value
+
     def _retire_engine_work(self) -> None:
         """Fold the current engine's counters into the running totals.
 
@@ -96,7 +105,9 @@ class AnalysisConfiguration(ABC):
         so that :meth:`work_stats` reports the work of *every* rebuild, not
         just the last one.
         """
-        self._fold_engine_counters(self._retired_work, getattr(self, "engine", None))
+        engine = getattr(self, "engine", None)
+        self._fold_engine_counters(self._retired_work, engine)
+        self._fold_engine_phases(self._retired_phases, engine)
 
     def work_stats(self) -> Dict[str, int]:
         """Cumulative query/edit work counters (splice-vs-rebuild accounting).
@@ -107,6 +118,16 @@ class AnalysisConfiguration(ABC):
         """
         totals = dict(self._retired_work)
         self._fold_engine_counters(totals, getattr(self, "engine", None))
+        return totals
+
+    def phase_stats(self) -> Dict[str, float]:
+        """Cumulative per-phase wall-clock seconds (structure update /
+        snapshot update / splice / query), summed over every engine this
+        configuration has owned.  Lets the benchmarks report which phase a
+        latency regression lives in, not just the end-to-end number.
+        """
+        totals = dict(self._retired_phases)
+        self._fold_engine_phases(totals, getattr(self, "engine", None))
         return totals
 
 

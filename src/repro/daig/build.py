@@ -72,7 +72,7 @@ class DaigBuilder:
         the edge leaves the loop, the input is the loop's fixed point;
         otherwise it is the source's (possibly iteration-indexed) state cell.
         """
-        if src in self.cfg.loop_heads() and dst not in self.cfg.natural_loop(src):
+        if self.cfg.is_loop_head(src) and dst not in self.cfg.natural_loop(src):
             return self.fix_name(src, overrides)
         return self.state_name(src, overrides)
 
@@ -87,15 +87,16 @@ class DaigBuilder:
         non-head location (e.g. a ``return`` in the middle of a loop body)
         has no sound source cell in that encoding, so it is rejected with a
         clear error rather than silently producing wrong results.
+
+        The violation map is maintained incrementally by the CFG's
+        structure layer, so this check is O(1) after a refresh instead of a
+        per-edit walk over every forward edge.
         """
-        for edge in self.cfg.forward_edges():
-            for head in self.cfg.containing_loop_heads(edge.src):
-                loop = self.cfg.natural_loop(head)
-                if edge.dst not in loop and edge.src != head:
-                    raise ValueError(
-                        "edge %s exits the loop headed at %d from a non-head "
-                        "location; the DAIG encoding requires loops to exit "
-                        "through their head" % (edge, head))
+        for edge, head in self.cfg.loop_exit_violations():
+            raise ValueError(
+                "edge %s exits the loop headed at %d from a non-head "
+                "location; the DAIG encoding requires loops to exit "
+                "through their head" % (edge, head))
 
     def build(self) -> Daig:
         """Construct the initial DAIG ``Dinit`` (Definition A.2)."""
@@ -103,7 +104,7 @@ class DaigBuilder:
         self.check_loop_exits()
         daig = Daig()
         entry_name = self.state_name(self.cfg.entry, {})
-        if self.cfg.entry in self.cfg.loop_heads() or self.cfg.in_any_loop(self.cfg.entry):
+        if self.cfg.is_loop_head(self.cfg.entry) or self.cfg.in_any_loop(self.cfg.entry):
             raise ValueError("the entry location may not belong to a loop")
         daig.add_ref(entry_name)
         daig.set_value(entry_name, self.entry_state)

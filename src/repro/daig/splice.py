@@ -4,42 +4,40 @@ A structural CFG edit (insert / delete / re-label edges) invalidates only
 the DAIG sub-regions whose *encoding* changed — everything else keeps both
 its structure and its previously computed values (rules E-Commit /
 E-Propagate / E-Loop applied at the granularity of whole regions).  This
-module turns that observation into an algorithm:
+module turns that observation into an algorithm with two entry points:
 
-1. **Snapshot** (:meth:`StructureSnapshot.capture`) — before the CFG
-   mutates, record a cheap structural *signature* per location (how its
-   incoming forward edges are encoded: statement cells, pre-join indices,
-   source cells) and per loop head (how its back edge is encoded), plus the
-   statement labelling every edge.  Signatures are plain tuples over
-   locations — no DAIG construction, no abstract-domain work.
-2. **Delta** (:func:`splice`) — after the mutation, recompute signatures
-   against the new CFG and diff: locations whose signature changed (or that
-   appeared / vanished) need re-encoding; loop heads whose loop gained or
-   lost members, or whose back-edge encoding changed, have their iterate
-   chain reset to the initial two-iterate form; edges whose statement
-   changed become dirtying seeds without any structural work.
-3. **Splice** — remove exactly the stale cell regions (via the
-   :class:`~repro.daig.graph.Daig` region indices), re-encode the dirty
-   locations and affected loops with the ordinary
-   :class:`~repro.daig.build.DaigBuilder` encoding rules, then dirty the
-   cells downstream of every seed through the reverse-dependency index
-   (:func:`repro.daig.edit.dirty_forward`).
+1. **Full diff** (:func:`splice`) — diff a pre-edit
+   :class:`StructureSnapshot` against a freshly captured one over *every*
+   location, then splice.  This is the fallback when the CFG's incremental
+   structure cache reports that locality was defeated (a wholesale edge
+   replacement, an irreducible graph, or a region covering most of the
+   program).
+2. **Region diff** (:func:`splice_delta`) — the common case.  The engine
+   owns a single *live* snapshot, captured once at construction; the CFG's
+   incremental structure layer (:mod:`repro.lang.structure`) reports, per
+   refresh, the set of locations and loop heads whose encoding signature
+   may have changed, and only those entries are re-signed, diffed, and
+   updated in place.  A statement-only edit re-signs exactly one location;
+   a structural edit re-signs its affected neighbourhood.  No O(program)
+   snapshot walk happens after engine construction.
 
-The result is bit-identical to rebuilding the DAIG from scratch and
-copying over unchanged values — the old engine behaviour — with all
-*DAIG-side* work (cell removal, re-encoding, dirtying, and the abstract
-recomputation a later query performs) proportional to the edit's impacted
-region, and unaffected loops keeping their demanded unrollings instead of
-being rolled back wholesale.  The snapshot-and-diff itself still walks the
-reachable CFG once per side — cheap tuple comparisons with no domain work —
-so per-edit latency retains an O(program) term, like the CFG's own
-dominator/loop re-analysis; making both incremental is a ROADMAP item.
+Both paths share the same splice actions: remove exactly the stale cell
+regions (via the :class:`~repro.daig.graph.Daig` region indices), re-encode
+the dirty locations and affected loops with the ordinary
+:class:`~repro.daig.build.DaigBuilder` encoding rules, then dirty the cells
+downstream of every seed through the reverse-dependency index
+(:func:`repro.daig.edit.dirty_forward`).  The result is bit-identical to
+rebuilding the DAIG from scratch and copying over unchanged values, with
+*all* per-edit work — structure refresh, snapshot re-signing, cell removal,
+re-encoding, dirtying, and the abstract recomputation a later query
+performs — proportional to the edit's impacted region.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..lang.cfg import Cfg
 from . import names as N
@@ -65,7 +63,7 @@ def _source_key(cfg: Cfg, src: int, dst: int) -> Tuple:
     through its head (footnote 5: read the fixed point) and by the source's
     enclosing loop heads (which index its state cell).
     """
-    if src in cfg.loop_heads() and dst not in cfg.natural_loop(src):
+    if cfg.is_loop_head(src) and dst not in cfg.natural_loop(src):
         return ("fix", src, cfg.containing_loop_heads(src))
     return ("state", src, cfg.containing_loop_heads(src))
 
@@ -93,41 +91,61 @@ def _loop_signature(cfg: Cfg, head: int) -> LoopSig:
     )
 
 
-def _stmt_cells(cfg: Cfg) -> Dict[StmtKey, Any]:
-    """Map every encoded statement cell to the statement it holds."""
+def _stmt_cells_at(cfg: Cfg, loc: int) -> Dict[StmtKey, Any]:
+    """The statement cells anchored at ``loc`` (incoming forward edges plus,
+    when ``loc`` is a loop head, its back edges)."""
     cells: Dict[StmtKey, Any] = {}
-    for loc in cfg.reachable_locations():
-        edges = cfg.fwd_edges_to(loc)
-        for index, edge in edges:
-            key = (edge.src, edge.dst, index if len(edges) > 1 else 0)
-            cells[key] = edge.stmt
-    for head in cfg.loop_heads():
-        for edge in cfg.back_edges_to(head):
-            cells[(edge.src, edge.dst, 0)] = edge.stmt
+    edges = cfg.fwd_edges_to(loc)
+    for index, edge in edges:
+        cells[(edge.src, edge.dst, index if len(edges) > 1 else 0)] = edge.stmt
+    for edge in cfg.back_edges_to(loc):
+        cells[(edge.src, edge.dst, 0)] = edge.stmt
     return cells
 
 
 @dataclass
 class StructureSnapshot:
-    """The structural encoding of a CFG, captured before an edit."""
+    """The structural encoding of a CFG.
 
-    reachable: FrozenSet[int]
+    Captured from scratch once (engine construction, or on a locality
+    fallback) and thereafter updated *in place* over the affected region of
+    each edit by :func:`splice_delta`.
+    """
+
+    reachable: Set[int]
     loc_sigs: Dict[int, Optional[LocSig]]
     loop_sigs: Dict[int, LoopSig]
     stmt_cells: Dict[StmtKey, Any]
-    natural_loops: Dict[int, FrozenSet[int]]
+    natural_loops: Dict[int, frozenset]
+    #: Statement-cell keys grouped by the location they are anchored at
+    #: (``key[1]``), so a region update can diff one location's cells
+    #: without scanning the whole table.
+    stmt_keys_by_loc: Dict[int, Set[StmtKey]] = field(default_factory=dict)
 
     @classmethod
     def capture(cls, cfg: Cfg) -> "StructureSnapshot":
-        reachable = frozenset(cfg.reachable_locations())
+        reachable = set(cfg.reachable_locations())
         heads = [h for h in cfg.loop_heads() if h in reachable]
+        stmt_cells: Dict[StmtKey, Any] = {}
+        stmt_keys_by_loc: Dict[int, Set[StmtKey]] = {}
+        for loc in reachable:
+            cells = _stmt_cells_at(cfg, loc)
+            if cells:
+                stmt_cells.update(cells)
+                stmt_keys_by_loc[loc] = set(cells)
         return cls(
             reachable=reachable,
             loc_sigs={loc: _loc_signature(cfg, loc) for loc in reachable},
             loop_sigs={h: _loop_signature(cfg, h) for h in heads},
-            stmt_cells=_stmt_cells(cfg),
+            stmt_cells=stmt_cells,
             natural_loops={h: frozenset(cfg.natural_loop(h)) for h in heads},
+            stmt_keys_by_loc=stmt_keys_by_loc,
         )
+
+    def set_stmt(self, key: StmtKey, stmt: Any) -> None:
+        """Record a statement-cell write applied directly to the DAIG."""
+        self.stmt_cells[key] = stmt
+        self.stmt_keys_by_loc.setdefault(key[1], set()).add(key)
 
 
 @dataclass
@@ -140,27 +158,45 @@ class SpliceReport:
     cells_dirtied: int = 0
     values_retained: int = 0
     seeds: List[N.Name] = field(default_factory=list)
-    #: The post-edit structure snapshot, so a continuing batch can reuse it
-    #: instead of re-capturing the same CFG.
+    #: Snapshot entries re-signed by this splice (the whole reachable set
+    #: for a full capture, the suspect region for a delta splice).
+    locs_resigned: int = 0
+    #: True when this splice re-captured the snapshot from scratch.
+    full_capture: bool = False
+    #: Wall-clock split: signature/snapshot maintenance vs. DAIG surgery.
+    snapshot_seconds: float = 0.0
+    splice_seconds: float = 0.0
+    #: The post-edit structure snapshot (the live snapshot for delta
+    #: splices; a fresh capture for full splices).
     snapshot: Optional[StructureSnapshot] = None
+
+
+def _check_encodable(builder: DaigBuilder) -> None:
+    """The validity preconditions, checked before any snapshot/DAIG mutation
+    so a rejected edit leaves both untouched (and recoverable)."""
+    cfg = builder.cfg
+    cfg.check_reducible()
+    builder.check_loop_exits()
+    if cfg.is_loop_head(cfg.entry) or cfg.in_any_loop(cfg.entry):
+        raise ValueError("the entry location may not belong to a loop")
 
 
 def splice(daig: Daig, builder: DaigBuilder,
            old: StructureSnapshot) -> SpliceReport:
     """Splice ``daig`` in place to match ``builder.cfg`` after an edit.
 
-    ``old`` must have been captured from the same CFG object *before* the
-    structural edit(s) were applied.  On return the DAIG is well-formed for
-    the new CFG, every cell whose encoding survived keeps its value, and
-    everything downstream of the edit is dirtied for lazy recomputation.
+    ``old`` must describe the same CFG object *before* the structural
+    edit(s) were applied.  On return the DAIG is well-formed for the new
+    CFG, every cell whose encoding survived keeps its value, and everything
+    downstream of the edit is dirtied for lazy recomputation.  This is the
+    full-capture fallback; the common path is :func:`splice_delta`.
     """
     cfg = builder.cfg
-    cfg.check_reducible()
-    builder.check_loop_exits()
-    if cfg.entry in cfg.loop_heads() or cfg.in_any_loop(cfg.entry):
-        raise ValueError("the entry location may not belong to a loop")
+    _check_encodable(builder)
+    started = time.perf_counter()
     new = StructureSnapshot.capture(cfg)
-    report = SpliceReport(snapshot=new)
+    report = SpliceReport(snapshot=new, full_capture=True,
+                          locs_resigned=len(new.reachable))
 
     # -- delta ---------------------------------------------------------------
     removed_locs = old.reachable - new.reachable
@@ -186,10 +222,135 @@ def splice(daig: Daig, builder: DaigBuilder,
         key for key, stmt in new.stmt_cells.items()
         if key in old.stmt_cells and old.stmt_cells[key] != stmt
     ]
+    report.snapshot_seconds = time.perf_counter() - started
+    return _apply_splice(
+        daig, builder, report,
+        removed_locs=removed_locs,
+        changed_locs=changed_locs,
+        dirty_locs=dirty_locs,
+        removed_heads=removed_heads,
+        affected_heads=affected_heads,
+        stale_stmts=stale_stmts,
+        relabelled_stmts=relabelled_stmts,
+        stmt_values=new.stmt_cells,
+    )
 
+
+def splice_delta(daig: Daig, builder: DaigBuilder, snapshot: StructureSnapshot,
+                 sig_suspects: Iterable[int],
+                 head_suspects: Iterable[int]) -> SpliceReport:
+    """Splice ``daig`` after an edit, re-signing only the suspect region.
+
+    ``snapshot`` is the engine's live snapshot (in sync with the CFG as of
+    the previous splice); ``sig_suspects`` / ``head_suspects`` come from the
+    CFG's incremental structure layer and over-approximate the locations and
+    loop heads whose encoding may have changed.  The snapshot is updated in
+    place; everything outside the suspect sets is untouched by construction.
+    """
+    cfg = builder.cfg
+    _check_encodable(builder)
+    started = time.perf_counter()
+    head_suspects = set(head_suspects)
+    suspects = set(sig_suspects) | head_suspects
+    reachable = cfg.reachable_locations()
+    report = SpliceReport(snapshot=snapshot, locs_resigned=len(suspects))
+
+    removed_locs: Set[int] = set()
+    added_locs: Set[int] = set()
+    changed_locs: Set[int] = set()
+    for loc in suspects:
+        was = loc in snapshot.reachable
+        now = loc in reachable
+        if was and not now:
+            removed_locs.add(loc)
+            snapshot.reachable.discard(loc)
+            snapshot.loc_sigs.pop(loc, None)
+        elif now:
+            sig = _loc_signature(cfg, loc)
+            if not was:
+                added_locs.add(loc)
+                snapshot.reachable.add(loc)
+                snapshot.loc_sigs[loc] = sig
+            elif snapshot.loc_sigs.get(loc) != sig:
+                changed_locs.add(loc)
+                snapshot.loc_sigs[loc] = sig
+    dirty_locs = added_locs | changed_locs
+
+    removed_heads: Set[int] = set()
+    affected_heads: Set[int] = set()
+    for head in head_suspects:
+        was_head = head in snapshot.loop_sigs
+        is_head = head in reachable and cfg.is_loop_head(head)
+        if was_head and not is_head:
+            removed_heads.add(head)
+            snapshot.loop_sigs.pop(head, None)
+            snapshot.natural_loops.pop(head, None)
+        elif is_head:
+            sig = _loop_signature(cfg, head)
+            old_body = snapshot.natural_loops.get(head, frozenset())
+            if not was_head or snapshot.loop_sigs.get(head) != sig:
+                affected_heads.add(head)
+            elif old_body & removed_locs:
+                affected_heads.add(head)
+            snapshot.loop_sigs[head] = sig
+            snapshot.natural_loops[head] = frozenset(cfg.natural_loop(head))
+    # A loop whose body contains a re-encoded location must reset its
+    # demanded iterates (E-Loop) even when its own signature is unchanged.
+    for loc in dirty_locs:
+        affected_heads.update(cfg.containing_loop_heads(loc))
+    affected_heads -= removed_heads
+
+    stale_stmts: Set[StmtKey] = set()
+    relabelled_stmts: List[StmtKey] = []
+    for loc in suspects:
+        old_keys = snapshot.stmt_keys_by_loc.get(loc, set())
+        new_cells = _stmt_cells_at(cfg, loc) if loc in reachable else {}
+        for key in old_keys - set(new_cells):
+            stale_stmts.add(key)
+            snapshot.stmt_cells.pop(key, None)
+        for key, stmt in new_cells.items():
+            if key in old_keys and snapshot.stmt_cells.get(key) != stmt:
+                relabelled_stmts.append(key)
+            snapshot.stmt_cells[key] = stmt
+        if new_cells:
+            snapshot.stmt_keys_by_loc[loc] = set(new_cells)
+        else:
+            snapshot.stmt_keys_by_loc.pop(loc, None)
+    report.snapshot_seconds = time.perf_counter() - started
+    return _apply_splice(
+        daig, builder, report,
+        removed_locs=removed_locs,
+        changed_locs=changed_locs,
+        dirty_locs=dirty_locs,
+        removed_heads=removed_heads,
+        affected_heads=affected_heads,
+        stale_stmts=stale_stmts,
+        relabelled_stmts=relabelled_stmts,
+        stmt_values=snapshot.stmt_cells,
+    )
+
+
+def _apply_splice(
+    daig: Daig,
+    builder: DaigBuilder,
+    report: SpliceReport,
+    *,
+    removed_locs: Set[int],
+    changed_locs: Set[int],
+    dirty_locs: Set[int],
+    removed_heads: Set[int],
+    affected_heads: Set[int],
+    stale_stmts: Set[StmtKey],
+    relabelled_stmts: List[StmtKey],
+    stmt_values: Dict[StmtKey, Any],
+) -> SpliceReport:
+    """The shared splice actions (identical for the full and delta paths)."""
+    cfg = builder.cfg
+    started = time.perf_counter()
     if not (dirty_locs or removed_locs or affected_heads or removed_heads
             or stale_stmts or relabelled_stmts):
         report.values_retained = len(daig.values)
+        report.splice_seconds = time.perf_counter() - started
         return report
 
     # -- remove stale regions ------------------------------------------------
@@ -224,7 +385,7 @@ def splice(daig: Daig, builder: DaigBuilder,
     for key in relabelled_stmts:
         name = N.stmt_name(*key)
         if name in daig.refs:
-            daig.set_value(name, new.stmt_cells[key])
+            daig.set_value(name, stmt_values[key])
             seeds.append(name)
     for loc in sorted(dirty_locs):
         if loc != cfg.entry:
@@ -234,4 +395,5 @@ def splice(daig: Daig, builder: DaigBuilder,
     report.seeds = seeds
     report.cells_dirtied = len(dirty_forward(daig, builder, seeds))
     report.values_retained = len(daig.values)
+    report.splice_seconds = time.perf_counter() - started
     return report

@@ -25,15 +25,30 @@ class CallGraph:
 
     def __init__(self, cfgs: Dict[str, Cfg]) -> None:
         self.cfgs = cfgs
-        self.edges: Dict[str, Set[str]] = {name: set() for name in cfgs}
-        self.call_sites: Dict[str, List[Tuple[int, A.CallStmt]]] = {
-            name: [] for name in cfgs}
+        self.edges: Dict[str, Set[str]] = {}
+        self.call_sites: Dict[str, List[Tuple[int, A.CallStmt]]] = {}
         for name, cfg in cfgs.items():
-            for edge in cfg.edges:
-                if isinstance(edge.stmt, A.CallStmt):
-                    self.call_sites[name].append((edge.src, edge.stmt))
-                    if edge.stmt.function in cfgs:
-                        self.edges[name].add(edge.stmt.function)
+            self._scan_procedure(name, cfg)
+
+    def _scan_procedure(self, name: str, cfg: Cfg) -> None:
+        """(Re-)derive one procedure's call edges and call sites."""
+        self.edges[name] = set()
+        self.call_sites[name] = []
+        for edge in cfg.edges:
+            if isinstance(edge.stmt, A.CallStmt):
+                self.call_sites[name].append((edge.src, edge.stmt))
+                if edge.stmt.function in self.cfgs:
+                    self.edges[name].add(edge.stmt.function)
+
+    def update_procedure(self, name: str, cfg: Cfg) -> None:
+        """Recompute one procedure's call edges after an edit.
+
+        Rebuilding the whole call graph is O(total program); a structural
+        edit touches one procedure, so only its edge set and call sites are
+        re-derived (O(procedure size)).
+        """
+        self.cfgs[name] = cfg
+        self._scan_procedure(name, cfg)
 
     def callees(self, name: str) -> Set[str]:
         return set(self.edges.get(name, set()))

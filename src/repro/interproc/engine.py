@@ -169,9 +169,11 @@ class InterproceduralEngine:
                     edit(engine)
                 touched.append(key)
         # Also keep the master CFG in sync for future engine constructions.
+        # The call graph is patched per-procedure rather than rebuilt: an
+        # edit touches one procedure, so only its call edges are re-derived.
         if touched:
             self.cfgs[procedure] = self.engines[touched[0]].cfg
-            self.callgraph = CallGraph(self.cfgs)
+            self.callgraph.update_procedure(procedure, self.cfgs[procedure])
             self.callgraph.check_nonrecursive()
         self._dirty_callers_of(procedure)
 
@@ -196,7 +198,8 @@ class InterproceduralEngine:
     # -- statistics ----------------------------------------------------------------------
 
     def total_stats(self) -> Dict[str, int]:
-        """Aggregate query and edit statistics over every constructed DAIG."""
+        """Aggregate query and edit statistics over every constructed DAIG
+        (including the per-procedure structure/snapshot phase counters)."""
         totals: Dict[str, int] = {}
         for engine in self.engines.values():
             for key, value in engine.stats.as_dict().items():
@@ -204,4 +207,12 @@ class InterproceduralEngine:
             for key, value in engine.edit_stats.as_dict().items():
                 totals[key] = totals.get(key, 0) + value
         totals["daigs"] = len(self.engines)
+        return totals
+
+    def total_phase_seconds(self) -> Dict[str, float]:
+        """Per-phase wall-clock seconds summed over every constructed DAIG."""
+        totals: Dict[str, float] = {}
+        for engine in self.engines.values():
+            for key, value in engine.phase_seconds().items():
+                totals[key] = totals.get(key, 0.0) + value
         return totals

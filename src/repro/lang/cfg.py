@@ -19,6 +19,14 @@ location.  This module provides:
 
 Locations are small integers; fresh locations are always allocated from a
 monotonically increasing counter so that edits never recycle a location name.
+
+Derived structure is *incremental* (:mod:`repro.lang.structure`): instead of
+a blanket invalidation, every edit reports a structural delta — statement
+relabels patch the live analysis in place with zero dominator/loop work, and
+edge insertions/removals refresh only the edit's forward-reachability
+neighbourhood.  The graph additionally maintains adjacency and edge-position
+indices so single edits are O(1) and continuation detach is O(out-degree)
+instead of O(edges).
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from . import ast as A
+from .structure import CfgStructure, PendingDelta, StructureListener
 
 Loc = int
 
@@ -50,9 +59,9 @@ class IrreducibleCfgError(Exception):
 class Cfg:
     """A statement-labelled control-flow graph for a single procedure.
 
-    The graph is mutable (edits arrive as the developer types) but all derived
-    structural information (dominators, loops, join points, ...) is computed
-    lazily and invalidated whenever the graph changes.
+    The graph is mutable (edits arrive as the developer types); all derived
+    structural information (dominators, loops, join points, ...) lives in an
+    incremental cache that edits update over their affected region only.
     """
 
     def __init__(
@@ -69,7 +78,19 @@ class Cfg:
         self.locations: Set[Loc] = {entry, exit_loc}
         self.edges: List[CfgEdge] = []
         self._next_loc: Loc = max(entry, exit_loc) + 1
-        self._analysis: Optional[_CfgAnalysis] = None
+        self._out: Dict[Loc, List[CfgEdge]] = {entry: [], exit_loc: []}
+        self._in: Dict[Loc, List[CfgEdge]] = {entry: [], exit_loc: []}
+        self._edge_pos: Dict[CfgEdge, List[int]] = {}
+        self._analysis: Optional[CfgStructure] = None
+        self._pending: Optional[PendingDelta] = None
+        self._listeners: List[StructureListener] = []
+        self._structure_stats: Dict[str, int] = {
+            "structure_full_builds": 0,
+            "structure_refreshes": 0,
+            "structure_locs_reanalyzed": 0,
+            "structure_stmt_patches": 0,
+        }
+        self._structure_seconds: float = 0.0
 
     # -- construction -------------------------------------------------------
 
@@ -78,7 +99,9 @@ class Cfg:
         loc = self._next_loc
         self._next_loc += 1
         self.locations.add(loc)
-        self._invalidate()
+        self._out[loc] = []
+        self._in[loc] = []
+        self._record_structural({loc})
         return loc
 
     def add_edge(self, src: Loc, stmt: A.AtomicStmt, dst: Loc) -> CfgEdge:
@@ -86,13 +109,16 @@ class Cfg:
         if src not in self.locations or dst not in self.locations:
             raise ValueError("edge endpoints must be existing locations")
         edge = CfgEdge(src, stmt, dst)
+        self._edge_pos.setdefault(edge, []).append(len(self.edges))
         self.edges.append(edge)
-        self._invalidate()
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        self._record_structural({dst}, added=(edge,))
         return edge
 
     def remove_edge(self, edge: CfgEdge) -> None:
-        self.edges.remove(edge)
-        self._invalidate()
+        self._remove_edge_object(edge)
+        self._record_structural({edge.dst}, removed=(edge,))
 
     def copy(self) -> "Cfg":
         """Return an independent copy sharing no mutable state."""
@@ -100,24 +126,124 @@ class Cfg:
         dup.locations = set(self.locations)
         dup.edges = list(self.edges)
         dup._next_loc = self._next_loc
+        dup._rebuild_indices()
         return dup
 
     def _invalidate(self) -> None:
+        """Discard all derived structure (wholesale-mutation fallback)."""
         self._analysis = None
+        self._pending = None
+        for listener in self._listeners:
+            listener.note_full()
+
+    def _rebuild_indices(self) -> None:
+        """Recompute adjacency and position indices from ``self.edges``."""
+        self._out = {loc: [] for loc in self.locations}
+        self._in = {loc: [] for loc in self.locations}
+        self._edge_pos = {}
+        for position, edge in enumerate(self.edges):
+            self._out[edge.src].append(edge)
+            self._in[edge.dst].append(edge)
+            self._edge_pos.setdefault(edge, []).append(position)
+
+    def _reset_edges(self, edges: List[CfgEdge], locations: Set[Loc]) -> None:
+        """Replace the edge/location sets wholesale (used by pruning)."""
+        self.edges = list(edges)
+        self.locations = set(locations)
+        self._rebuild_indices()
+        self._invalidate()
+
+    # -- delta recording -----------------------------------------------------
+
+    def add_structure_listener(self, listener: StructureListener) -> None:
+        """Subscribe a consumer (e.g. a DAIG engine's structure snapshot)
+        to the affected regions of future structural refreshes."""
+        self._listeners.append(listener)
+
+    def remove_structure_listener(self, listener: StructureListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _record_structural(
+        self,
+        seeds: Set[Loc],
+        added: Iterable[CfgEdge] = (),
+        removed: Iterable[CfgEdge] = (),
+    ) -> None:
+        if self._analysis is None:
+            return  # next query builds from scratch (and reports `full`)
+        pending = self._pending
+        if pending is None:
+            pending = self._pending = PendingDelta()
+        pending.seeds |= seeds
+        pending.added_edges.extend(added)
+        pending.removed_edges.extend(removed)
+
+    def _record_stmt_patch(self, old: CfgEdge, new: CfgEdge) -> None:
+        self._structure_stats["structure_stmt_patches"] += 1
+        if self._analysis is not None:
+            if self._pending is not None:
+                self._pending.stmt_patches.append((old, new))
+            else:
+                self._analysis.patch_stmt(old, new)
+        for listener in self._listeners:
+            listener.note_region({new.dst}, set())
+
+    # -- low-level edge surgery (O(degree), via the position index) ----------
+
+    def _positions_of(self, edge: CfgEdge) -> List[int]:
+        positions = self._edge_pos.get(edge)
+        if not positions:
+            raise ValueError("edge not in CFG: %s" % (edge,))
+        return positions
+
+    def _remove_edge_object(self, edge: CfgEdge) -> None:
+        positions = self._positions_of(edge)
+        position = positions.pop()
+        if not positions:
+            del self._edge_pos[edge]
+        last = self.edges.pop()
+        if position < len(self.edges):
+            self.edges[position] = last
+            moved = self._edge_pos[last]
+            moved.remove(len(self.edges))
+            moved.append(position)
+        self._out[edge.src].remove(edge)
+        self._in[edge.dst].remove(edge)
+
+    def _replace_edge_object(self, edge: CfgEdge, new_edge: CfgEdge) -> None:
+        positions = self._positions_of(edge)
+        position = positions.pop()
+        if not positions:
+            del self._edge_pos[edge]
+        self.edges[position] = new_edge
+        self._edge_pos.setdefault(new_edge, []).append(position)
+        out = self._out[edge.src]
+        if edge.src == new_edge.src:
+            out[out.index(edge)] = new_edge
+        else:
+            out.remove(edge)
+            self._out[new_edge.src].append(new_edge)
+        incoming = self._in[edge.dst]
+        if edge.dst == new_edge.dst:
+            incoming[incoming.index(edge)] = new_edge
+        else:
+            incoming.remove(edge)
+            self._in[new_edge.dst].append(new_edge)
 
     # -- basic queries -------------------------------------------------------
 
     def out_edges(self, loc: Loc) -> List[CfgEdge]:
-        return [e for e in self.edges if e.src == loc]
+        return list(self._out.get(loc, ()))
 
     def in_edges(self, loc: Loc) -> List[CfgEdge]:
-        return [e for e in self.edges if e.dst == loc]
+        return list(self._in.get(loc, ()))
 
     def successors(self, loc: Loc) -> List[Loc]:
-        return [e.dst for e in self.out_edges(loc)]
+        return [e.dst for e in self._out.get(loc, ())]
 
     def predecessors(self, loc: Loc) -> List[Loc]:
-        return [e.src for e in self.in_edges(loc)]
+        return [e.src for e in self._in.get(loc, ())]
 
     def statements(self) -> List[A.AtomicStmt]:
         return [e.stmt for e in self.edges]
@@ -136,12 +262,36 @@ class Cfg:
 
     # -- structural analyses -------------------------------------------------
 
-    def _analyze(self) -> "_CfgAnalysis":
+    def _analyze(self) -> CfgStructure:
         if self._analysis is None:
-            self._analysis = _CfgAnalysis(self)
+            self._analysis = CfgStructure(self)
+            for listener in self._listeners:
+                listener.note_full()
+        elif self._pending is not None:
+            pending, self._pending = self._pending, None
+            full, sig_suspects, head_suspects = self._analysis.refresh(pending)
+            for listener in self._listeners:
+                if full:
+                    listener.note_full()
+                else:
+                    listener.note_region(sig_suspects, head_suspects)
         return self._analysis
 
+    def ensure_structure(self) -> None:
+        """Force any pending structural delta to be applied now."""
+        self._analyze()
+
+    def structure_stats(self) -> Dict[str, int]:
+        """Cumulative structure-phase work counters for this program."""
+        return dict(self._structure_stats)
+
+    def structure_seconds(self) -> float:
+        """Cumulative wall-clock time spent maintaining derived structure."""
+        return self._structure_seconds
+
     def reachable_locations(self) -> Set[Loc]:
+        """The set of locations reachable from the entry (live view —
+        callers must not mutate it)."""
         return self._analyze().reachable
 
     def dominators(self) -> Dict[Loc, Set[Loc]]:
@@ -153,17 +303,21 @@ class Cfg:
 
     def back_edges(self) -> List[CfgEdge]:
         """Edges ``u --> v`` where ``v`` dominates ``u`` (loop back edges)."""
-        return self._analyze().back_edges
+        return self._analyze().back_edges()
 
     def forward_edges(self) -> List[CfgEdge]:
-        return self._analyze().forward_edges
+        return self._analyze().forward_edges()
 
     def is_back_edge(self, edge: CfgEdge) -> bool:
-        return edge in set(self._analyze().back_edges)
+        return self._analyze().is_back_edge(edge)
 
     def loop_heads(self) -> List[Loc]:
         """Destinations of back edges, in a deterministic order."""
         return self._analyze().loop_heads
+
+    def is_loop_head(self, loc: Loc) -> bool:
+        """O(1) loop-head membership (the list scan is O(#loops))."""
+        return loc in self._analyze().natural_loops
 
     def natural_loop(self, head: Loc) -> Set[Loc]:
         """The natural loop (body location set, including ``head``) of a head."""
@@ -189,15 +343,25 @@ class Cfg:
         return self._analyze().fwd_edges_to.get(loc, [])
 
     def back_edges_to(self, loc: Loc) -> List[CfgEdge]:
-        return [e for e in self._analyze().back_edges if e.dst == loc]
+        return self._analyze().back_edges_to(loc)
 
     def reverse_postorder(self) -> List[Loc]:
         """Reverse postorder over forward edges (a topological order)."""
-        return self._analyze().reverse_postorder
+        return self._analyze().reverse_postorder()
+
+    def loop_exit_violations(self) -> List[Tuple[CfgEdge, Loc]]:
+        """Forward edges leaving a natural loop from a non-head location,
+        paired with the violated loop head (maintained incrementally)."""
+        analysis = self._analyze()
+        return sorted(
+            analysis.bad_loop_exits.items(),
+            key=lambda item: (item[0].src, item[0].dst, str(item[0].stmt)))
 
     def check_reducible(self) -> None:
         """Raise :class:`IrreducibleCfgError` if the graph is irreducible."""
-        self._analyze().check_reducible()
+        if self._analyze().has_forward_cycle:
+            raise IrreducibleCfgError(
+                "forward edges of %s contain a cycle" % (self.name,))
 
     def is_reducible(self) -> bool:
         try:
@@ -209,12 +373,17 @@ class Cfg:
     # -- edits ----------------------------------------------------------------
 
     def replace_edge_statement(self, edge: CfgEdge, stmt: A.AtomicStmt) -> CfgEdge:
-        """Replace the statement labelling an existing edge (in-place edit)."""
-        if edge not in self.edges:
-            raise ValueError("edge not in CFG: %s" % (edge,))
+        """Replace the statement labelling an existing edge (in-place edit).
+
+        This is a *statement-only* edit: the edge's endpoints are unchanged,
+        so no dominator, loop, or reachability recomputation happens at all.
+        """
         new_edge = CfgEdge(edge.src, stmt, edge.dst)
-        self.edges[self.edges.index(edge)] = new_edge
-        self._invalidate()
+        if new_edge == edge:
+            self._positions_of(edge)  # raises when the edge is unknown
+            return edge
+        self._replace_edge_object(edge, new_edge)
+        self._record_stmt_patch(edge, new_edge)
         return new_edge
 
     def delete_edge_statement(self, edge: CfgEdge) -> CfgEdge:
@@ -235,13 +404,15 @@ class Cfg:
         what "inserting just inside the loop" means.
         """
         moved = self.out_edges(loc)
-        if loc in self.loop_heads():
+        if self.is_loop_head(loc):
             loop = self.natural_loop(loc)
             moved = [edge for edge in moved if edge.dst in loop]
         cont = self.fresh_loc()
         for edge in moved:
-            self.edges[self.edges.index(edge)] = CfgEdge(cont, edge.stmt, edge.dst)
-        self._invalidate()
+            new_edge = CfgEdge(cont, edge.stmt, edge.dst)
+            self._replace_edge_object(edge, new_edge)
+            self._record_structural(
+                {edge.dst}, added=(new_edge,), removed=(edge,))
         return cont
 
     def insert_statement_after(self, loc: Loc, stmt: A.AtomicStmt) -> Loc:
@@ -335,171 +506,6 @@ class Cfg:
     def __str__(self) -> str:
         return "Cfg(%s, %d locations, %d edges)" % (
             self.name, len(self.locations), len(self.edges))
-
-
-class _CfgAnalysis:
-    """Derived structural facts about a CFG, recomputed after each mutation."""
-
-    def __init__(self, cfg: Cfg) -> None:
-        self.cfg = cfg
-        self.reachable = self._compute_reachable()
-        self.reverse_postorder = self._compute_reverse_postorder()
-        self.dominators = self._compute_dominators()
-        self.back_edges, self.forward_edges = self._partition_edges()
-        self.loop_heads = sorted({e.dst for e in self.back_edges})
-        self.natural_loops = {
-            head: self._compute_natural_loop(head) for head in self.loop_heads
-        }
-        self.containing = self._compute_containing()
-        self.fwd_edges_to = self._compute_fwd_edges_to()
-        self.join_points = {
-            loc for loc, edges in self.fwd_edges_to.items() if len(edges) >= 2
-        }
-
-    def _compute_reachable(self) -> Set[Loc]:
-        seen: Set[Loc] = set()
-        stack = [self.cfg.entry]
-        while stack:
-            loc = stack.pop()
-            if loc in seen:
-                continue
-            seen.add(loc)
-            for edge in self.cfg.out_edges(loc):
-                if edge.dst not in seen:
-                    stack.append(edge.dst)
-        return seen
-
-    def _compute_reverse_postorder(self) -> List[Loc]:
-        visited: Set[Loc] = set()
-        order: List[Loc] = []
-
-        def visit(loc: Loc) -> None:
-            stack: List[Tuple[Loc, List[Loc]]] = [(loc, self._ordered_successors(loc))]
-            visited.add(loc)
-            while stack:
-                node, succs = stack[-1]
-                advanced = False
-                while succs:
-                    nxt = succs.pop(0)
-                    if nxt not in visited:
-                        visited.add(nxt)
-                        stack.append((nxt, self._ordered_successors(nxt)))
-                        advanced = True
-                        break
-                if not advanced:
-                    order.append(node)
-                    stack.pop()
-
-        visit(self.cfg.entry)
-        order.reverse()
-        return [loc for loc in order if loc in self.reachable]
-
-    def _ordered_successors(self, loc: Loc) -> List[Loc]:
-        return sorted({e.dst for e in self.cfg.out_edges(loc)})
-
-    def _compute_dominators(self) -> Dict[Loc, Set[Loc]]:
-        reachable = self.reachable
-        all_locs = set(reachable)
-        dom: Dict[Loc, Set[Loc]] = {loc: set(all_locs) for loc in reachable}
-        dom[self.cfg.entry] = {self.cfg.entry}
-        order = self.reverse_postorder
-        changed = True
-        while changed:
-            changed = False
-            for loc in order:
-                if loc == self.cfg.entry:
-                    continue
-                preds = [p for p in self.cfg.predecessors(loc) if p in reachable]
-                if not preds:
-                    new = {loc}
-                else:
-                    new = set(all_locs)
-                    for pred in preds:
-                        new &= dom[pred]
-                    new.add(loc)
-                if new != dom[loc]:
-                    dom[loc] = new
-                    changed = True
-        return dom
-
-    def _partition_edges(self) -> Tuple[List[CfgEdge], List[CfgEdge]]:
-        back: List[CfgEdge] = []
-        forward: List[CfgEdge] = []
-        for edge in self.cfg.edges:
-            if edge.src not in self.reachable:
-                continue
-            if edge.dst in self.dominators.get(edge.src, set()):
-                back.append(edge)
-            else:
-                forward.append(edge)
-        return back, forward
-
-    def _compute_natural_loop(self, head: Loc) -> Set[Loc]:
-        loop: Set[Loc] = {head}
-        stack: List[Loc] = []
-        for edge in self.back_edges:
-            if edge.dst == head and edge.src not in loop:
-                loop.add(edge.src)
-                stack.append(edge.src)
-        while stack:
-            loc = stack.pop()
-            for pred in self.cfg.predecessors(loc):
-                if pred not in loop and pred in self.reachable:
-                    loop.add(pred)
-                    stack.append(pred)
-        return loop
-
-    def _compute_containing(self) -> Dict[Loc, Tuple[Loc, ...]]:
-        containing: Dict[Loc, Tuple[Loc, ...]] = {}
-        for loc in self.reachable:
-            heads = [h for h in self.loop_heads if loc in self.natural_loops[h]]
-            # Order outermost-first: a head h1 is outside h2 if h2's loop is a
-            # subset of h1's loop (or h1's loop is strictly larger).
-            heads.sort(key=lambda h: (-len(self.natural_loops[h]), h))
-            containing[loc] = tuple(heads)
-        return containing
-
-    def _compute_fwd_edges_to(self) -> Dict[Loc, List[Tuple[int, CfgEdge]]]:
-        incoming: Dict[Loc, List[CfgEdge]] = {}
-        for edge in self.forward_edges:
-            incoming.setdefault(edge.dst, []).append(edge)
-        indexed: Dict[Loc, List[Tuple[int, CfgEdge]]] = {}
-        for loc, edges in incoming.items():
-            edges.sort(key=lambda e: (e.src, str(e.stmt)))
-            indexed[loc] = [(i + 1, edge) for i, edge in enumerate(edges)]
-        return indexed
-
-    def check_reducible(self) -> None:
-        """A CFG is reducible iff removing back edges leaves an acyclic graph."""
-        forward_succ: Dict[Loc, List[Loc]] = {loc: [] for loc in self.reachable}
-        for edge in self.forward_edges:
-            if edge.src in self.reachable:
-                forward_succ[edge.src].append(edge.dst)
-        state: Dict[Loc, int] = {}
-
-        def has_cycle(start: Loc) -> bool:
-            stack: List[Tuple[Loc, List[Loc]]] = [(start, list(forward_succ[start]))]
-            state[start] = 1
-            while stack:
-                node, succs = stack[-1]
-                if succs:
-                    nxt = succs.pop(0)
-                    if state.get(nxt, 0) == 1:
-                        return True
-                    if state.get(nxt, 0) == 0:
-                        state[nxt] = 1
-                        stack.append((nxt, list(forward_succ[nxt])))
-                else:
-                    state[node] = 2
-                    stack.pop()
-            return False
-
-        for loc in self.reachable:
-            if state.get(loc, 0) == 0 and has_cycle(loc):
-                raise IrreducibleCfgError(
-                    "forward edges of %s contain a cycle" % (self.cfg.name,))
-        # Additionally: every back edge destination must dominate its source,
-        # which holds by construction of the forward/back partition.
 
 
 # ---------------------------------------------------------------------------
@@ -598,18 +604,16 @@ class CfgBuilder:
         return after
 
     def _prune_unreachable(self) -> None:
-        reachable = self.cfg.reachable_locations()
+        reachable = set(self.cfg.reachable_locations())
         reachable.add(self.cfg.exit)
-        self.cfg.edges = [
+        edges = [
             e for e in self.cfg.edges
             if e.src in reachable and e.dst in reachable
         ]
-        self.cfg.locations = {
-            loc for loc in self.cfg.locations if loc in reachable
-        }
-        self.cfg.locations.add(self.cfg.entry)
-        self.cfg.locations.add(self.cfg.exit)
-        self.cfg._invalidate()
+        locations = {loc for loc in self.cfg.locations if loc in reachable}
+        locations.add(self.cfg.entry)
+        locations.add(self.cfg.exit)
+        self.cfg._reset_edges(edges, locations)
 
 
 def build_cfg(procedure: A.Procedure) -> Cfg:

@@ -1,6 +1,7 @@
 """Synthetic edit/query workloads and latency statistics (Section 7.3)."""
 
 from .edits import (
+    DeleteStatement,
     InsertConditional,
     InsertLoop,
     InsertStatement,
@@ -33,6 +34,7 @@ from .stats import (
 )
 
 __all__ = [
+    "DeleteStatement",
     "InsertConditional",
     "InsertLoop",
     "InsertStatement",

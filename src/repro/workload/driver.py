@@ -36,8 +36,12 @@ class WorkloadResult:
     trial_seed: int
     samples: List[LatencySample] = field(default_factory=list)
     #: The configuration's cumulative work counters at the end of the trial
-    #: (query stats plus splice-vs-rebuild cell counts for DAIG engines).
+    #: (query stats, splice-vs-rebuild cell counts, and structure/snapshot
+    #: phase counters for DAIG engines).
     work: Dict[str, int] = field(default_factory=dict)
+    #: Per-phase wall-clock seconds (structure / snapshot / splice / query),
+    #: so regressions can be attributed to a phase, not just a total.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def latencies(self) -> List[float]:
         return [sample.seconds for sample in self.samples]
@@ -80,6 +84,7 @@ def run_trial(
         if progress is not None:
             progress(last.index, elapsed)
     result.work = configuration.work_stats()
+    result.phases = configuration.phase_stats()
     return result
 
 

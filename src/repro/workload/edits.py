@@ -93,24 +93,48 @@ class InsertLoop(ProgramEdit):
         return "insert `while (%s)` after ℓ%d" % (self.cond, self.location)
 
 
+def _find_edge(cfg: Cfg, src: Loc, dst: Loc):
+    for edge in cfg.out_edges(src):
+        if edge.dst == dst:
+            return edge
+    raise KeyError("no edge %d -> %d" % (src, dst))
+
+
 @dataclass(frozen=True)
 class ReplaceStatement(ProgramEdit):
-    """Replace the statement on an existing edge (used by targeted examples)."""
+    """Replace the statement on an existing edge.
+
+    A *statement-only* edit: applied through the engine it takes the
+    zero-structure-work fast path (the CFG patches its live analysis in
+    place and the engine re-signs exactly one snapshot location).
+    """
 
     dst: Loc = 0
     stmt: A.AtomicStmt = A.SkipStmt()
 
-    def _find_edge(self, cfg: Cfg):
-        for edge in cfg.out_edges(self.location):
-            if edge.dst == self.dst:
-                return edge
-        raise KeyError("no edge %d -> %d" % (self.location, self.dst))
-
     def apply_to_cfg(self, cfg: Cfg) -> None:
-        cfg.replace_edge_statement(self._find_edge(cfg), self.stmt)
+        cfg.replace_edge_statement(_find_edge(cfg, self.location, self.dst), self.stmt)
 
     def apply_to_engine(self, engine: DaigEngine) -> None:
-        engine.replace_statement(self._find_edge(engine.cfg), self.stmt)
+        engine.replace_statement(
+            _find_edge(engine.cfg, self.location, self.dst), self.stmt)
 
     def describe(self) -> str:
         return "replace ℓ%d→ℓ%d with `%s`" % (self.location, self.dst, self.stmt)
+
+
+@dataclass(frozen=True)
+class DeleteStatement(ProgramEdit):
+    """Delete the statement on an existing edge (replace with ``skip``,
+    paper Lemma B.2) — the other statement-only edit kind."""
+
+    dst: Loc = 0
+
+    def apply_to_cfg(self, cfg: Cfg) -> None:
+        cfg.delete_edge_statement(_find_edge(cfg, self.location, self.dst))
+
+    def apply_to_engine(self, engine: DaigEngine) -> None:
+        engine.delete_statement(_find_edge(engine.cfg, self.location, self.dst))
+
+    def describe(self) -> str:
+        return "delete statement on ℓ%d→ℓ%d" % (self.location, self.dst)

@@ -24,7 +24,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..lang import ast as A
 from ..lang.cfg import Cfg, Loc
-from .edits import InsertConditional, InsertLoop, InsertStatement, ProgramEdit
+from .edits import (DeleteStatement, InsertConditional, InsertLoop,
+                    InsertStatement, ProgramEdit, ReplaceStatement)
 
 #: Probabilities of each edit kind, as reported in the paper.
 STATEMENT_PROBABILITY = 0.85
@@ -136,6 +137,30 @@ class WorkloadGenerator:
         counter = self._variable()
         condition = A.BinOp("<", A.Var(counter), self._constant())
         return InsertLoop(location, condition, self._loop_body())
+
+    def next_statement_only_edit(self) -> ProgramEdit:
+        """A statement-only edit: relabel (or delete) an existing statement.
+
+        These model a developer editing statement text without changing
+        control flow — the workload that exercises the engine's
+        zero-structure-work fast path (no dominator/loop recomputation, one
+        snapshot re-sign per edit).
+        """
+        edge = self.rng.choice(self.cfg.edges)
+        if self.rng.random() < 0.2:
+            return DeleteStatement(edge.src, edge.dst)
+        return ReplaceStatement(edge.src, edge.dst, self._statement())
+
+    def generate_statement_only(self, edits: int) -> List[WorkloadStep]:
+        """Generate a statement-only edit/query stream over the current
+        program (grow the program first with :meth:`generate`)."""
+        steps: List[WorkloadStep] = []
+        for index in range(edits):
+            edit = self.next_statement_only_edit()
+            edit.apply_to_cfg(self.cfg)
+            steps.append(WorkloadStep(
+                index, edit, self._sample_queries(), self.cfg.size()))
+        return steps
 
     def _sample_queries(self) -> Tuple[Loc, ...]:
         points = self.cfg.insertion_points() + [self.cfg.exit]
