@@ -1,0 +1,232 @@
+"""Interprocedural demanded analysis: the fig10-style comparison lifted to
+multi-procedure programs, plus the two locality experiments the summary
+architecture is about.
+
+1. **Four-way configuration comparison** — batch / incremental / demand /
+   incr+demand, each driven over identical multi-procedure edit/query
+   streams (recursive and non-recursive), reporting per-step latency
+   summaries, work counters, and the per-phase wall-clock split.
+2. **Cross-procedure edit locality** — editing one leaf procedure in a
+   program with many unrelated bystander procedures must dirty a constant
+   number of dependent call cells: the caller-dirtying counters are
+   independent of total program size, and no configuration ever scans a
+   full DAIG ref set (``interproc_callsite_scans == 0``).
+3. **Structure sharing across contexts** — analyzing under 2-call-site
+   sensitivity builds many (procedure, context) DAIGs but exactly one
+   ``CfgStructure`` per *procedure*: the structure-phase counters do not
+   scale with the number of contexts.
+
+Everything lands in ``BENCH_interproc.json`` (override with
+``REPRO_BENCH_INTERPROC_JSON``); CI uploads it as a perf-trajectory
+artifact and asserts the locality invariants on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.config import (ALL_INTERPROC_CONFIGURATIONS,
+                                   InterprocIncrementalDemandConfiguration)
+from repro.domains import IntervalDomain
+from repro.interproc import InterproceduralEngine, policy_by_name
+from repro.lang import ast as A
+from repro.lang import build_program_cfgs, parse_program
+from repro.lang.programs import bystander_source
+from repro.workload import (generate_interproc_trials, run_interproc_trial,
+                            summarize)
+from repro.workload.edits import relabel_assignment
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="module")
+def interproc_scale():
+    """(edits, trials, procedures) for the multi-procedure workloads."""
+    return (_env_int("REPRO_BENCH_INTERPROC_EDITS", 60),
+            _env_int("REPRO_BENCH_INTERPROC_TRIALS", 1),
+            _env_int("REPRO_BENCH_INTERPROC_PROCS", 5))
+
+
+def _leaf_edit_stream(engine: InterproceduralEngine, edits: int):
+    """Repeatedly relabel leaf's statement; returns dirtying counters."""
+    before = dict(engine.counters)
+    for step in range(edits):
+        engine.edit_procedure("leaf", relabel_assignment(
+            "r", A.BinOp("+", A.Var("x"), A.IntLit(step % 7))))
+        engine.query_entry_exit()
+    return {key: engine.counters[key] - before.get(key, 0)
+            for key in engine.counters}
+
+
+@pytest.fixture(scope="module")
+def interproc_results(interproc_scale):
+    """Run every interprocedural configuration over shared workloads and
+    write the BENCH_interproc.json artifact."""
+    edits, trials, procedures = interproc_scale
+    domain_factory = IntervalDomain
+
+    configurations = {}
+    samples_by_name = {}
+    for recursive in (False, True):
+        workloads = generate_interproc_trials(
+            edits=edits, trials=trials, base_seed=11,
+            procedures=procedures, recursive=recursive)
+        for cls in ALL_INTERPROC_CONFIGURATIONS:
+            name = "%s%s" % (cls.name, "+rec" if recursive else "")
+            total_work = {}
+            total_phases = {}
+            samples = []
+            for workload in workloads:
+                configuration = cls(workload.fresh_cfgs(), domain_factory(),
+                                    policy_by_name("1-call-site"))
+                outcome = run_interproc_trial(configuration, workload.steps)
+                samples.extend(outcome.samples)
+                for key, value in outcome.work.items():
+                    total_work[key] = total_work.get(key, 0) + value
+                for key, value in outcome.phases.items():
+                    total_phases[key] = total_phases.get(key, 0.0) + value
+            samples_by_name[name] = samples
+            configurations[name] = {
+                "latency_summary": summarize([s.seconds for s in samples]),
+                "samples": len(samples),
+                "work": total_work,
+                "phases": total_phases,
+                "recursive_workload": recursive,
+            }
+
+    # -- locality: caller dirtying independent of program size ---------------
+    locality = {}
+    for label, bystanders in (("small", 4), ("large", 24)):
+        cfgs = build_program_cfgs(parse_program(bystander_source(bystanders)))
+        engine = InterproceduralEngine(cfgs, domain_factory(),
+                                       policy_by_name("1-call-site"))
+        engine.query_entry_exit()
+        deltas = _leaf_edit_stream(engine, edits=10)
+        locality[label] = {
+            "bystanders": bystanders,
+            "program_size": sum(cfg.size() for cfg in cfgs.values()),
+            "dirties_per_edit": deltas["interproc_callsite_dirties"] / 10.0,
+            "callsite_scans": deltas["interproc_callsite_scans"],
+        }
+
+    # -- structure sharing: one CfgStructure per procedure -------------------
+    chain = parse_program("""
+        function leaf(x) { return x + 1; }
+        function mid(y) { var a = leaf(y); var b = leaf(a); return a + b; }
+        function top(z) { var c = mid(z); var d = mid(c); return c + d; }
+        function main() { var u = top(1); var v = top(50); return u + v; }
+    """)
+    cfgs = build_program_cfgs(chain)
+    # Warm each procedure's structure cache once (CFG lowering itself pays
+    # one build pre-prune and one post-prune); everything the analysis does
+    # beyond this point is attributable to the (procedure, context) engines.
+    for cfg in cfgs.values():
+        cfg.ensure_structure()
+    builds_before = sum(cfg.structure_stats()["structure_full_builds"]
+                        for cfg in cfgs.values())
+    engine = InterproceduralEngine(cfgs, domain_factory(),
+                                   policy_by_name("2-call-site"))
+    engine.analyze_everything()
+    builds_after = sum(cfg.structure_stats()["structure_full_builds"]
+                       for cfg in cfgs.values())
+    stats = engine.total_stats()
+    contexts = {
+        "procedures": len(cfgs),
+        "daigs": stats["daigs"],
+        "structure_full_builds": stats["structure_full_builds"],
+        "structure_builds_during_analysis": builds_after - builds_before,
+        "snapshot_full_captures": stats["snapshot_full_captures"],
+    }
+
+    artifact = {
+        "workload": {"edits": edits, "trials": trials,
+                     "procedures": procedures,
+                     "policy": "1-call-site", "domain": "interval"},
+        "configurations": configurations,
+        "locality": locality,
+        "contexts": contexts,
+    }
+    path = os.environ.get("REPRO_BENCH_INTERPROC_JSON", "BENCH_interproc.json")
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    return artifact, samples_by_name
+
+
+def test_interproc_configuration_comparison(interproc_results, benchmark):
+    """The fig10 shape holds across procedures: incremental & demand-driven
+    beats from-scratch re-analysis, on recursive and non-recursive
+    workloads alike."""
+    artifact, samples = interproc_results
+    benchmark(lambda: {name: summarize([s.seconds for s in series])
+                       for name, series in samples.items()})
+    print("\n=== Interprocedural configurations (measured, seconds) ===")
+    rows = {name: data["latency_summary"]
+            for name, data in artifact["configurations"].items()}
+    for name in sorted(rows):
+        row = rows[name]
+        print("%-28s mean=%.5f p50=%.5f p95=%.5f" % (
+            name, row["mean"], row["p50"], row["p95"]))
+    for suffix in ("", "+rec"):
+        batch = rows["interproc-batch" + suffix]
+        combined = rows["interproc-incr+demand" + suffix]
+        assert combined["mean"] < batch["mean"]
+        assert combined["p95"] <= batch["p95"]
+
+
+def test_interproc_no_callsite_scans(interproc_results):
+    """No configuration ever rescans a DAIG ref set to find call sites."""
+    artifact, _samples = interproc_results
+    for name, data in artifact["configurations"].items():
+        assert data["work"].get("interproc_callsite_scans", 0) == 0, name
+
+
+def test_interproc_edit_locality_independent_of_program_size(interproc_results):
+    """Editing a leaf dirties the same number of dependent call cells no
+    matter how many unrelated procedures the program contains."""
+    artifact, _samples = interproc_results
+    small = artifact["locality"]["small"]
+    large = artifact["locality"]["large"]
+    assert large["program_size"] > 2 * small["program_size"]
+    assert small["callsite_scans"] == 0 and large["callsite_scans"] == 0
+    assert large["dirties_per_edit"] == small["dirties_per_edit"]
+    print("\nlocality: %.1f dirtied call cells/edit at size %d and %d alike"
+          % (small["dirties_per_edit"], small["program_size"],
+             large["program_size"]))
+
+
+def test_interproc_structure_shared_across_contexts(interproc_results):
+    """2-call-site analysis builds many DAIGs but pays the structure phase
+    once per procedure."""
+    artifact, _samples = interproc_results
+    contexts = artifact["contexts"]
+    assert contexts["daigs"] > contexts["procedures"]
+    assert contexts["structure_builds_during_analysis"] == 0
+    print("\ncontexts: %d DAIGs over %d procedures, %d structure builds "
+          "during analysis"
+          % (contexts["daigs"], contexts["procedures"],
+             contexts["structure_builds_during_analysis"]))
+
+
+def test_interproc_incr_demand_step_latency(benchmark, interproc_scale):
+    """pytest-benchmark: one representative incr+demand workload step."""
+    edits, _trials, procedures = interproc_scale
+    workload = generate_interproc_trials(
+        edits=edits, trials=1, base_seed=23, procedures=procedures)[0]
+    configuration = InterprocIncrementalDemandConfiguration(
+        workload.fresh_cfgs(), IntervalDomain(), policy_by_name("1-call-site"))
+    for step in workload.steps[:-1]:
+        configuration.step(step)
+    probe = workload.steps[-1]
+
+    def run_last_step():
+        configuration.answer_queries(probe.query_sites)
+
+    benchmark(run_last_step)

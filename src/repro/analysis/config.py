@@ -27,6 +27,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from ..daig.engine import DaigEngine
 from ..daig.memo import MemoTable
 from ..domains.base import AbstractDomain
+from ..interproc.context import ContextPolicy
+from ..interproc.engine import InterproceduralEngine
 from ..lang import ast as A
 from ..lang.cfg import Cfg, Loc
 from ..workload.edits import ProgramEdit
@@ -242,6 +244,167 @@ ALL_CONFIGURATIONS = (
     IncrementalConfiguration,
     DemandConfiguration,
     IncrementalDemandConfiguration,
+)
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural configurations (multi-procedure workloads)
+# ---------------------------------------------------------------------------
+
+
+class InterproceduralConfiguration(ABC):
+    """A way of keeping *interprocedural* results current across edits.
+
+    The same four-way design space as Fig. 10, lifted to whole programs:
+    edits name a procedure, queries name (procedure, location) sites, and
+    the incremental configurations answer both through one long-lived
+    :class:`~repro.interproc.engine.InterproceduralEngine` whose
+    cross-procedure propagation is O(dependent call sites) per edit.
+    """
+
+    name: str = "interproc-configuration"
+    demand_driven: bool = False
+    incremental: bool = False
+
+    def __init__(
+        self,
+        cfgs: Dict[str, Cfg],
+        domain: AbstractDomain,
+        policy: Optional[ContextPolicy] = None,
+        entry: str = "main",
+    ) -> None:
+        self.cfgs = {name: cfg.copy() for name, cfg in cfgs.items()}
+        self.domain = domain
+        self.policy = policy
+        self.entry = entry
+        self._retired_work: Dict[str, int] = {}
+        self._retired_phases: Dict[str, float] = {}
+        self.engine: Optional[InterproceduralEngine] = None
+
+    def _build_engine(self) -> InterproceduralEngine:
+        return InterproceduralEngine(
+            {name: cfg.copy() for name, cfg in self.cfgs.items()},
+            self.domain, self.policy, entry=self.entry)
+
+    def _retire_engine_work(self) -> None:
+        if self.engine is None:
+            return
+        for key, value in self.engine.total_stats().items():
+            self._retired_work[key] = self._retired_work.get(key, 0) + value
+        for key, value in self.engine.total_phase_seconds().items():
+            self._retired_phases[key] = self._retired_phases.get(key, 0.0) + value
+
+    @abstractmethod
+    def apply_edit(self, procedure: str, edit: ProgramEdit) -> None:
+        """Incorporate an edit to one procedure."""
+
+    def answer_queries(
+        self, sites: Sequence[Any]) -> Dict[Any, Any]:
+        """Answer queries at ``(procedure, location)`` sites."""
+        assert self.engine is not None
+        return {(procedure, loc): self.engine.query(procedure, loc)
+                for procedure, loc in sites}
+
+    def step(self, step: Any) -> Dict[Any, Any]:
+        """One workload step: apply the edit, then answer the queries."""
+        self.apply_edit(step.procedure, step.edit)
+        return self.answer_queries(step.query_sites)
+
+    def program_size(self) -> int:
+        return sum(cfg.size() for cfg in self.cfgs.values())
+
+    def work_stats(self) -> Dict[str, int]:
+        totals = dict(self._retired_work)
+        if self.engine is not None:
+            for key, value in self.engine.total_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def phase_stats(self) -> Dict[str, float]:
+        totals = dict(self._retired_phases)
+        if self.engine is not None:
+            for key, value in self.engine.total_phase_seconds().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+
+class InterprocBatchConfiguration(InterproceduralConfiguration):
+    """Whole-program from-scratch re-analysis after every edit."""
+
+    name = "interproc-batch"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.engine = self._build_engine()
+        self.engine.analyze_everything()
+
+    def apply_edit(self, procedure: str, edit: ProgramEdit) -> None:
+        edit.apply_to_cfg(self.cfgs[procedure])
+        self._retire_engine_work()
+        self.engine = None  # free the old engines before rebuilding
+        self.engine = self._build_engine()
+        self.engine.analyze_everything()
+
+
+class InterprocDemandConfiguration(InterproceduralConfiguration):
+    """No reuse across edits; only queried cells are evaluated."""
+
+    name = "interproc-demand"
+    demand_driven = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.engine = self._build_engine()
+
+    def apply_edit(self, procedure: str, edit: ProgramEdit) -> None:
+        edit.apply_to_cfg(self.cfgs[procedure])
+        self._retire_engine_work()
+        self.engine = None
+        self.engine = self._build_engine()
+
+
+class InterprocIncrementalConfiguration(InterproceduralConfiguration):
+    """Incremental cross-procedure dirtying with eager recomputation."""
+
+    name = "interproc-incremental"
+    incremental = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.engine = self._build_engine()
+        self.engine.analyze_everything()
+
+    def apply_edit(self, procedure: str, edit: ProgramEdit) -> None:
+        assert self.engine is not None
+        self.engine.edit_procedure(procedure, edit.apply_to_engine)
+        self.cfgs[procedure] = self.engine.cfgs[procedure]
+        self.engine.analyze_everything()
+
+
+class InterprocIncrementalDemandConfiguration(InterproceduralConfiguration):
+    """The full technique across procedures: O(dependent call sites)
+    dirtying on edits, demanded summaries on queries."""
+
+    name = "interproc-incr+demand"
+    demand_driven = True
+    incremental = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.engine = self._build_engine()
+
+    def apply_edit(self, procedure: str, edit: ProgramEdit) -> None:
+        assert self.engine is not None
+        self.engine.edit_procedure(procedure, edit.apply_to_engine)
+        self.cfgs[procedure] = self.engine.cfgs[procedure]
+
+
+#: The interprocedural configurations, mirroring the Fig. 10 four-way split.
+ALL_INTERPROC_CONFIGURATIONS = (
+    InterprocBatchConfiguration,
+    InterprocIncrementalConfiguration,
+    InterprocDemandConfiguration,
+    InterprocIncrementalDemandConfiguration,
 )
 
 

@@ -41,7 +41,7 @@ from .build import DaigBuilder
 from .edit import write_cell
 from .memo import MemoTable
 from .names import Name, stmt_name
-from .query import QueryEvaluator, QueryStats
+from .query import QueryEvaluator, QueryStats, StaleDemandError
 from .splice import (SpliceReport, StructureSnapshot, _check_encodable,
                      splice, splice_delta)
 
@@ -77,7 +77,14 @@ class EditStats:
             self.snapshot_full_captures += 1
         self.last_report = report
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self, include_structure: bool = True) -> Dict[str, int]:
+        """Counters as a flat dict.
+
+        ``include_structure=False`` omits the CFG's structure-phase counters;
+        the interprocedural engine shares one CFG (and hence one structure
+        cache) among every context of a procedure and folds those counters in
+        once per procedure instead of once per engine.
+        """
         out = {
             "edits": self.edits,
             "splices": self.splices,
@@ -87,7 +94,8 @@ class EditStats:
             "snapshot_full_captures": self.snapshot_full_captures,
             "snapshot_locs_resigned": self.snapshot_locs_resigned,
         }
-        out.update(self._cfg.structure_stats())
+        if include_structure:
+            out.update(self._cfg.structure_stats())
         return out
 
 
@@ -120,6 +128,13 @@ class DaigEngine:
         self._batch_depth = 0
         self._cfg_dirty = False
         self._phase = {"snapshot": 0.0, "splice": 0.0, "query": 0.0}
+        #: Optional consumer of statement-cell deltas: called with
+        #: ``(removed_keys, present_key_to_stmt)`` after every splice and
+        #: direct statement write, so clients indexing statements (the
+        #: interprocedural call-site index) stay in sync at O(affected
+        #: region) cost.  Keys are ``(src, dst, index)`` triples.
+        self.stmt_change_listener: Optional[
+            Callable[[Any, Any], None]] = None
 
     # -- introspection -------------------------------------------------------------
 
@@ -135,15 +150,29 @@ class DaigEngine:
         """``(cells, computations)`` of the current DAIG."""
         return self.daig.size()
 
-    def phase_seconds(self) -> Dict[str, float]:
+    def stmt_cells(self) -> Dict[Tuple[int, int, int], A.AtomicStmt]:
+        """The DAIG's statement cells, keyed by ``(src, dst, index)``.
+
+        A copy of the live snapshot's statement table — consumers indexing
+        statements take this once at construction and then follow the
+        incremental deltas delivered to ``stmt_change_listener``.
+        """
+        return dict(self._snapshot.stmt_cells)
+
+    def phase_seconds(self, include_structure: bool = True) -> Dict[str, float]:
         """Cumulative wall-clock time per engine phase.
 
         ``structure`` — the CFG's incremental dominator/loop maintenance;
         ``snapshot`` — encoding-signature maintenance; ``splice`` — DAIG
         cell surgery and dirtying; ``query`` — demanded evaluation.
+
+        ``include_structure=False`` omits the CFG's structure phase for
+        callers that share one CFG among several engines and account for its
+        time once per procedure.
         """
         out = dict(self._phase)
-        out["structure"] = self.cfg.structure_seconds()
+        if include_structure:
+            out["structure"] = self.cfg.structure_seconds()
         return out
 
     # -- queries ---------------------------------------------------------------------
@@ -169,15 +198,29 @@ class DaigEngine:
         try:
             if loc not in self.cfg.reachable_locations():
                 return self.domain.bottom()
-            heads = self.cfg.containing_loop_heads(loc)
-            overrides: Dict[Loc, int] = {}
-            for head in heads:
-                self._ensure_converged(head, overrides)
-                comp = self.daig.defining(self.builder.fix_name(head, overrides))
-                overrides[head] = comp.srcs[0].iteration_of(head)
-            if self.cfg.is_loop_head(loc):
-                return self.evaluator.query(self.builder.fix_name(loc, overrides))
-            return self.evaluator.query(self.builder.state_name(loc, overrides))
+            # A reentrant call transfer (interprocedural summary update) can
+            # roll back a loop between converging it and reading the demanded
+            # iterate; the whole derivation is simply retried against the
+            # post-rollback encoding.  Summary widening converges, so the
+            # retry count is bounded in practice; the cap guards domain bugs.
+            for _attempt in range(64):
+                try:
+                    heads = self.cfg.containing_loop_heads(loc)
+                    overrides: Dict[Loc, int] = {}
+                    for head in heads:
+                        self._ensure_converged(head, overrides)
+                        comp = self.daig.defining(
+                            self.builder.fix_name(head, overrides))
+                        overrides[head] = comp.srcs[0].iteration_of(head)
+                    if self.cfg.is_loop_head(loc):
+                        return self.evaluator.query(
+                            self.builder.fix_name(loc, overrides))
+                    return self.evaluator.query(
+                        self.builder.state_name(loc, overrides))
+                except StaleDemandError:
+                    continue
+            raise StaleDemandError(
+                "query at location %d kept being invalidated" % (loc,))
         finally:
             self._phase["query"] += time.perf_counter() - started
 
@@ -234,6 +277,8 @@ class DaigEngine:
         # not spuriously re-dirty the already-written cell.
         self._snapshot.set_stmt((edge.src, edge.dst, index), stmt)
         self.edit_stats.edits += 1
+        if self.stmt_change_listener is not None:
+            self.stmt_change_listener(set(), {(edge.src, edge.dst, index): stmt})
         return new_edge
 
     # -- structural edits -------------------------------------------------------------------
@@ -334,6 +379,18 @@ class DaigEngine:
         if self._batch_depth == 0:
             self._sync_structure()
 
+    def resync(self) -> None:
+        """Splice this DAIG after a *sibling* engine edited the shared CFG.
+
+        The interprocedural engine keeps one CFG per procedure shared by
+        every (procedure, context) engine; an edit is applied to the CFG
+        once, through one engine, and the remaining engines catch up here —
+        their structure listeners already hold the affected region, so the
+        cost is one delta splice over that region, not a rebuild.
+        """
+        self._cfg_dirty = True
+        self._sync_structure()
+
     def _sync_structure(self) -> None:
         """Splice the DAIG over the affected region of edits since the last
         sync.  A no-op when no structural edit is outstanding.
@@ -360,6 +417,9 @@ class DaigEngine:
         self.edit_stats.record(report)
         self._phase["snapshot"] += report.snapshot_seconds
         self._phase["splice"] += report.splice_seconds
+        if self.stmt_change_listener is not None and (
+                report.stmt_removed or report.stmt_present):
+            self.stmt_change_listener(report.stmt_removed, report.stmt_present)
 
     # -- convenience -------------------------------------------------------------------------
 

@@ -77,6 +77,19 @@ class MemoTable:
                 self._table.popitem(last=False)
                 self.evictions += 1
 
+    def discard(self, func: str, args: Tuple[Any, ...]) -> bool:
+        """Drop one entry if present (always sound, per Section 2.2).
+
+        Used by clients that can name entries they have made unreachable —
+        e.g. the interprocedural engine retiring version-stamped summaries —
+        so an unbounded table does not accumulate dead results.
+        """
+        key = self.key(func, args)
+        if key is None or key not in self._table:
+            return False
+        del self._table[key]
+        return True
+
     def clear(self) -> None:
         """Drop all cached results (always sound, per Section 2.2)."""
         self._table.clear()

@@ -44,6 +44,15 @@ from .names import Name
 MAX_UNROLLINGS = 2000
 
 
+class StaleDemandError(Exception):
+    """The queried root cell was removed while its demand was in flight.
+
+    Raised only when a reentrant call transfer (the interprocedural engine
+    reacting to a callee summary change) rolled back structure that the
+    current demand path ran through *and* took the root cell with it.  The
+    engine retries the query against the post-rollback encoding."""
+
+
 class QueryStats:
     """Counters describing the work a sequence of queries performed."""
 
@@ -115,6 +124,16 @@ class QueryEvaluator:
                 continue
             comp = daig.defining(current)
             if comp is None:
+                if current != name and current not in daig.refs:
+                    # Removed mid-flight by a reentrant call transfer (loop
+                    # rollback); restart the walk from the root.
+                    if name not in daig.refs:
+                        raise StaleDemandError(
+                            "root cell %s vanished during evaluation" % (name,))
+                    stack = [name]
+                    on_path = {name}
+                    pushed_by.clear()
+                    continue
                 raise IllFormedDaigError(
                     "query for undefined empty cell %s" % (current,))
             pending = next(
@@ -133,6 +152,23 @@ class QueryEvaluator:
                 continue  # either converged (valued) or unrolled (new inputs)
             args = tuple(daig.value(src) for src in comp.srcs)
             value = self._evaluate(comp, args)
+            if (current not in daig.refs
+                    or daig.defining(current) != comp
+                    or not all(daig.has_value(src) for src in comp.srcs)):
+                # A call transfer may re-enter the interprocedural engine,
+                # which can dirty cells of *this* DAIG (a callee summary
+                # changed) while the transfer was evaluating — possibly
+                # rolling back a loop the demand path ran through.  The value
+                # just computed is stale; discard it and restart the walk
+                # from the root (everything already committed keeps its
+                # value, so only the invalidated suffix is re-derived).
+                if name not in daig.refs:
+                    raise StaleDemandError(
+                        "root cell %s vanished during evaluation" % (name,))
+                stack = [name]
+                on_path = {name}
+                pushed_by.clear()
+                continue
             daig.set_value(current, value)
             self.stats.cells_computed += 1
             stack.pop()
@@ -187,16 +223,23 @@ class QueryEvaluator:
             found, cached = self.memo.lookup(comp.func, args)
             if found:
                 return cached
-        value = self._apply(comp.func, args)
+        value = self._apply(comp.func, args,
+                            site=comp.srcs[0] if is_call else None)
         if not is_call:
             self.memo.store(comp.func, args, value)
         return value
 
-    def _apply(self, func: str, args: Tuple[Any, ...]) -> Any:
+    def _apply(self, func: str, args: Tuple[Any, ...],
+               site: Optional[Name] = None) -> Any:
         if func == TRANSFER:
             stmt, state = args
             if isinstance(stmt, A.CallStmt) and self.call_transfer is not None:
                 self.stats.transfers += 1
+                if getattr(self.call_transfer, "accepts_site", False):
+                    # Site-aware hook: also receives the statement *cell*
+                    # naming the call site, so the interprocedural engine can
+                    # index entry-state contributions per call site.
+                    return self.call_transfer(stmt, state, site)
                 return self.call_transfer(stmt, state)
             self.stats.transfers += 1
             return self.domain.transfer(stmt, state)

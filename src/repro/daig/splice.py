@@ -161,6 +161,13 @@ class SpliceReport:
     #: Snapshot entries re-signed by this splice (the whole reachable set
     #: for a full capture, the suspect region for a delta splice).
     locs_resigned: int = 0
+    #: Statement cells deleted by this splice, and the statement cells in the
+    #: re-signed region that now exist (new, relabelled, or re-anchored),
+    #: keyed by ``(src, dst, index)``.  Consumers that index statements —
+    #: e.g. the interprocedural call-site index — patch themselves from
+    #: these deltas instead of rescanning the DAIG's ref set.
+    stmt_removed: Set[StmtKey] = field(default_factory=set)
+    stmt_present: Dict[StmtKey, Any] = field(default_factory=dict)
     #: True when this splice re-captured the snapshot from scratch.
     full_capture: bool = False
     #: Wall-clock split: signature/snapshot maintenance vs. DAIG surgery.
@@ -222,6 +229,8 @@ def splice(daig: Daig, builder: DaigBuilder,
         key for key, stmt in new.stmt_cells.items()
         if key in old.stmt_cells and old.stmt_cells[key] != stmt
     ]
+    report.stmt_removed = set(stale_stmts)
+    report.stmt_present = dict(new.stmt_cells)
     report.snapshot_seconds = time.perf_counter() - started
     return _apply_splice(
         daig, builder, report,
@@ -312,10 +321,12 @@ def splice_delta(daig: Daig, builder: DaigBuilder, snapshot: StructureSnapshot,
             if key in old_keys and snapshot.stmt_cells.get(key) != stmt:
                 relabelled_stmts.append(key)
             snapshot.stmt_cells[key] = stmt
+            report.stmt_present[key] = stmt
         if new_cells:
             snapshot.stmt_keys_by_loc[loc] = set(new_cells)
         else:
             snapshot.stmt_keys_by_loc.pop(loc, None)
+    report.stmt_removed = stale_stmts
     report.snapshot_seconds = time.perf_counter() - started
     return _apply_splice(
         daig, builder, report,

@@ -9,11 +9,12 @@ from .context import (
     ContextPolicy,
     policy_by_name,
 )
-from .engine import InterproceduralEngine, ProcedureKey
+from .engine import InterproceduralEngine, ProcedureKey, SummaryDivergenceError
 
 __all__ = [
     "CallGraph",
     "RecursionError_",
+    "SummaryDivergenceError",
     "ENTRY_CONTEXT",
     "CallStringSensitive",
     "Context",

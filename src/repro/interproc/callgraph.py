@@ -1,23 +1,30 @@
-"""Static call graphs for the non-recursive, statically-dispatched language.
+"""Static call graphs for the statically-dispatched language.
 
-The paper's implementation "supports context-sensitive analysis of
-non-recursive programs with static calling semantics (i.e., no virtual
-dispatch or higher-order functions)"; call targets are therefore syntactic.
-This module builds the call graph from the CFGs, checks the non-recursion
-restriction, and computes the set of procedures reachable from the entry
-point (used by the verification clients to know which code is analyzed).
+Call targets are syntactic (no virtual dispatch or higher-order functions,
+as in the paper's prototype).  This module builds the call graph from the
+CFGs and maintains it *incrementally*: :meth:`CallGraph.update_procedure`
+re-derives one procedure's edges after an edit, patching both the forward
+edge set and the reverse-edge index, so :meth:`callers` is a dictionary
+lookup instead of an O(all-procedures) scan.
+
+The paper's implementation restricts itself to non-recursive programs;
+the engine now analyzes (mutually) recursive programs through a summary
+fixpoint over call-graph SCCs, so :meth:`check_nonrecursive` is an *opt-in*
+validation rather than a construction-time requirement.  SCC membership
+(:meth:`recursive_procedures`, :meth:`scc_of`) is computed lazily and
+invalidated by edits.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..lang import ast as A
 from ..lang.cfg import Cfg
 
 
 class RecursionError_(Exception):
-    """Raised when the program contains (mutually) recursive calls."""
+    """Raised by the opt-in validation when the call graph has a cycle."""
 
 
 class CallGraph:
@@ -26,12 +33,19 @@ class CallGraph:
     def __init__(self, cfgs: Dict[str, Cfg]) -> None:
         self.cfgs = cfgs
         self.edges: Dict[str, Set[str]] = {}
+        #: Reverse-edge index: callee → callers.  Kept in sync by
+        #: :meth:`update_procedure` so ``callers()`` never scans the program.
+        self.rev_edges: Dict[str, Set[str]] = {name: set() for name in cfgs}
         self.call_sites: Dict[str, List[Tuple[int, A.CallStmt]]] = {}
+        self._sccs: Optional[List[FrozenSet[str]]] = None
+        self._scc_index: Dict[str, FrozenSet[str]] = {}
         for name, cfg in cfgs.items():
             self._scan_procedure(name, cfg)
 
     def _scan_procedure(self, name: str, cfg: Cfg) -> None:
         """(Re-)derive one procedure's call edges and call sites."""
+        for callee in self.edges.get(name, ()):
+            self.rev_edges.get(callee, set()).discard(name)
         self.edges[name] = set()
         self.call_sites[name] = []
         for edge in cfg.edges:
@@ -39,22 +53,46 @@ class CallGraph:
                 self.call_sites[name].append((edge.src, edge.stmt))
                 if edge.stmt.function in self.cfgs:
                     self.edges[name].add(edge.stmt.function)
+                    self.rev_edges.setdefault(edge.stmt.function, set()).add(name)
 
     def update_procedure(self, name: str, cfg: Cfg) -> None:
         """Recompute one procedure's call edges after an edit.
 
         Rebuilding the whole call graph is O(total program); a structural
-        edit touches one procedure, so only its edge set and call sites are
-        re-derived (O(procedure size)).
+        edit touches one procedure, so only its edge set, call sites, and
+        reverse-index entries are re-derived (O(procedure size)).  SCC
+        membership is invalidated only when the procedure's *call edge set*
+        actually changed — statement edits that leave the calls alone (the
+        common case) keep the cached condensation, so they never pay a
+        Tarjan pass.
         """
         self.cfgs[name] = cfg
+        self.rev_edges.setdefault(name, set())
+        before = self.edges.get(name, set())
         self._scan_procedure(name, cfg)
+        if self.edges[name] != before:
+            self._sccs = None  # membership may have changed; recompute lazily
 
     def callees(self, name: str) -> Set[str]:
         return set(self.edges.get(name, set()))
 
     def callers(self, name: str) -> Set[str]:
-        return {caller for caller, callees in self.edges.items() if name in callees}
+        """Procedures with a call site targeting ``name`` (O(1) via the
+        reverse-edge index, not a scan over every procedure)."""
+        return set(self.rev_edges.get(name, set()))
+
+    def transitive_callers(self, name: str) -> Set[str]:
+        """Procedures from which ``name`` is reachable (excluding ``name``
+        itself unless it participates in a cycle).  O(dependent subgraph)."""
+        seen: Set[str] = set()
+        frontier = list(self.rev_edges.get(name, set()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.rev_edges.get(current, set()))
+        return seen
 
     def reachable_from(self, entry: str) -> Set[str]:
         """Procedures transitively reachable from ``entry`` (including it)."""
@@ -68,39 +106,110 @@ class CallGraph:
             frontier.extend(self.edges.get(current, set()))
         return seen
 
-    def check_nonrecursive(self) -> None:
-        """Raise :class:`RecursionError_` if the call graph has a cycle."""
-        state: Dict[str, int] = {}
+    # -- strongly connected components -------------------------------------------
 
-        def visit(node: str, stack: List[str]) -> None:
-            state[node] = 1
-            for callee in sorted(self.edges.get(node, set())):
-                if state.get(callee, 0) == 1:
-                    raise RecursionError_(
-                        "recursive call cycle: %s -> %s"
-                        % (" -> ".join(stack + [node]), callee))
-                if state.get(callee, 0) == 0:
-                    visit(callee, stack + [node])
-            state[node] = 2
+    def sccs(self) -> List[FrozenSet[str]]:
+        """Strongly connected components, callees-before-callers.
+
+        Iterative Tarjan; the condensation order returned has every
+        component after all components it calls into, which is the
+        evaluation order bottom-up summary computations want.
+        """
+        if self._sccs is not None:
+            return self._sccs
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[FrozenSet[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(self.edges.get(root, set()))))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append(
+                            (child, iter(sorted(self.edges.get(child, set())))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
 
         for name in sorted(self.cfgs):
-            if state.get(name, 0) == 0:
-                visit(name, [])
+            if name not in index:
+                strongconnect(name)
+        self._sccs = components
+        self._scc_index = {member: component
+                           for component in components for member in component}
+        return components
+
+    def scc_of(self, name: str) -> FrozenSet[str]:
+        """The strongly connected component containing ``name``."""
+        self.sccs()
+        return self._scc_index.get(name, frozenset({name}))
+
+    def is_recursive(self, name: str) -> bool:
+        """Whether ``name`` participates in a call cycle (including a
+        direct self-call)."""
+        component = self.scc_of(name)
+        return len(component) > 1 or name in self.edges.get(name, set())
+
+    def recursive_procedures(self) -> Set[str]:
+        """All procedures participating in some call cycle."""
+        return {name for name in self.cfgs if self.is_recursive(name)}
+
+    def check_nonrecursive(self) -> None:
+        """Opt-in validation: raise :class:`RecursionError_` on any cycle.
+
+        The engine analyzes recursive programs via the SCC summary fixpoint;
+        clients that want the paper's original restriction (e.g. to
+        guarantee no widening on summaries) call this explicitly or pass
+        ``require_nonrecursive=True`` to the engine.
+        """
+        for component in self.sccs():
+            members = sorted(component)
+            if len(component) > 1:
+                raise RecursionError_(
+                    "recursive call cycle: %s" % (" -> ".join(members),))
+            name = members[0]
+            if name in self.edges.get(name, set()):
+                raise RecursionError_("recursive call cycle: %s -> %s"
+                                      % (name, name))
 
     def topological_order(self) -> List[str]:
-        """Callees-before-callers order (useful for bottom-up summaries)."""
-        self.check_nonrecursive()
+        """Callees-before-callers order over the SCC condensation.
+
+        Members of one (recursive) component appear consecutively, in
+        name-sorted order; for non-recursive programs this is exactly the
+        classical topological order.
+        """
         order: List[str] = []
-        visited: Set[str] = set()
-
-        def visit(node: str) -> None:
-            if node in visited:
-                return
-            visited.add(node)
-            for callee in sorted(self.edges.get(node, set())):
-                visit(callee)
-            order.append(node)
-
-        for name in sorted(self.cfgs):
-            visit(name)
+        for component in self.sccs():
+            order.extend(sorted(component))
         return order

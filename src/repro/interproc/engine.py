@@ -1,17 +1,37 @@
 """Context-sensitive interprocedural demanded abstract interpretation.
 
-Following Section 7.1 of the paper: a DAIG is constructed per *(procedure,
-context)* pair, on demand.  Initially only the entry procedure's DAIG (in
-the entry context) exists; when a query reaches the abstract state after a
-call, the engine constructs (or reuses) the callee's DAIG in the context
-chosen by the context-sensitivity policy, seeds its entry state from the
-caller's state at the call site, demands the callee's exit state, and maps
-it back into the caller through the domain's ``call_return`` hook.
+Following Section 7.1 of the paper — and extending it with a *demanded
+summary* architecture so that the O(affected-region) edit invariant holds
+across procedure boundaries:
 
-Edits to a procedure are applied to every existing DAIG of that procedure
-and then propagated to (transitive) callers by dirtying the cells downstream
-of the affected call sites — the interprocedural analogue of the
-E-Propagate rule.
+* One DAIG per *(procedure, context)* pair, built on demand, but one
+  **shared, immutable-by-convention CFG** (and hence one
+  :class:`~repro.lang.structure.CfgStructure` cache and one structure
+  analysis) per *procedure*, regardless of how many contexts analyze it.
+* A **call-site dependency index** — ``callee name → {(caller engine, call
+  cells)}`` — maintained from the engines' statement-cell deltas (initial
+  scan at engine construction, patched per splice), so an edit to a callee
+  dirties exactly the dependent call cells: no per-edit scan over any
+  engine's full DAIG ref set (``interproc_callsite_scans`` stays 0).
+* **Procedure summaries** keyed by ``(procedure, context, code version,
+  entry state)`` in the shared :class:`~repro.daig.memo.MemoTable`:
+  repeated calls at a previously seen entry state reuse the memoized exit
+  state without touching the callee's DAIG, and entry-state changes leave
+  the callee engine untouched until a summary miss actually needs it
+  (lazy entry synchronization).
+* **Recursion** via a summary fixpoint over call-graph SCCs: a recursive
+  call consumes the current exit-summary assumption (⊥ initially); the
+  engine iterates, widening the assumption and re-dirtying exactly the
+  dependent call cells, until the computed exit is covered by the
+  assumption.  ``check_nonrecursive`` is an opt-in validation
+  (``require_nonrecursive=True``), no longer a hard restriction.
+
+Entry states are maintained as the join of per-call-site *contributions*;
+when a call site disappears (edit) its contribution is retracted, and when
+a callee's entry target or exit summary changes, the dependent call cells
+are dirtied (the interprocedural analogue of E-Propagate), which makes the
+demanded results order-independent: every evaluated call site ends up
+consistent with the callee's final entry/exit summary.
 """
 
 from __future__ import annotations
@@ -21,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..daig.edit import dirty_forward
 from ..daig.engine import DaigEngine
 from ..daig.memo import MemoTable
+from ..daig.names import Name, stmt_name
 from ..domains.base import AbstractDomain
 from ..lang import ast as A
 from ..lang.cfg import Cfg, Loc
@@ -28,10 +49,22 @@ from .callgraph import CallGraph
 from .context import ENTRY_CONTEXT, Context, ContextInsensitive, ContextPolicy
 
 ProcedureKey = Tuple[str, Context]
+#: Identifies a statement cell within one engine: ``(src, dst, index)``.
+SiteKey = Tuple[int, int, int]
+#: Identifies a call site globally: the engine it lives in plus its cell.
+SiteId = Tuple[ProcedureKey, SiteKey]
+
+#: Safety bound on SCC summary-fixpoint rounds; a convergent widening never
+#: comes close, so exceeding it signals a domain bug.
+MAX_SUMMARY_ROUNDS = 1000
+
+
+class SummaryDivergenceError(Exception):
+    """An SCC summary fixpoint failed to converge within the round bound."""
 
 
 class InterproceduralEngine:
-    """One DAIG per (procedure, context), built and evaluated on demand."""
+    """One DAIG per (procedure, context), with demanded summaries."""
 
     def __init__(
         self,
@@ -40,6 +73,7 @@ class InterproceduralEngine:
         policy: Optional[ContextPolicy] = None,
         entry: str = "main",
         share_memo: bool = True,
+        require_nonrecursive: bool = False,
     ) -> None:
         if entry not in cfgs:
             raise KeyError("no procedure named %r" % (entry,))
@@ -47,14 +81,67 @@ class InterproceduralEngine:
         self.domain = domain
         self.policy = policy if policy is not None else ContextInsensitive()
         self.entry = entry
+        self.require_nonrecursive = require_nonrecursive
         self.callgraph = CallGraph(cfgs)
-        self.callgraph.check_nonrecursive()
+        if require_nonrecursive:
+            self.callgraph.check_nonrecursive()
         self.memo: Optional[MemoTable] = MemoTable() if share_memo else None
+        #: Summary memoization always exists, even without a shared memo.
+        self._summary_memo: MemoTable = (
+            self.memo if self.memo is not None else MemoTable())
         self.engines: Dict[ProcedureKey, DaigEngine] = {}
+        #: The entry state each engine's DAIG currently holds.
         self.entry_states: Dict[ProcedureKey, Any] = {}
-        #: callee key -> caller keys whose results depend on it.
-        self.dependents: Dict[ProcedureKey, Set[ProcedureKey]] = {}
-        self._engine_for(entry, ENTRY_CONTEXT, domain.initial(cfgs[entry].params))
+        #: The entry state each engine *should* hold: the join of its call
+        #: sites' contributions (plus a root entry for explicitly queried
+        #: procedures).  Synchronized into the DAIG lazily, on summary miss.
+        self._entry_target: Dict[ProcedureKey, Any] = {}
+        self._root_entries: Dict[ProcedureKey, Any] = {}
+        self._contribs: Dict[ProcedureKey, Dict[SiteId, Any]] = {}
+        #: How often each call site has grown its callee's entry target —
+        #: the delayed-widening trigger (see :meth:`_refresh_entry_target`).
+        self._entry_growths: Dict[Tuple[ProcedureKey, SiteId], int] = {}
+        #: Keys whose every contribution was retracted: their target is a
+        #: stale upper bound and the next recorded contribution replaces it
+        #: exactly instead of joining into it.
+        self._entry_stale: Set[ProcedureKey] = set()
+        #: Call-site dependency index (the tentpole): per caller engine, the
+        #: call cells and their callees; and the reverse map from callee
+        #: name to every dependent call cell.
+        self._site_callee: Dict[ProcedureKey, Dict[SiteKey, str]] = {}
+        self._dependent_sites: Dict[str, Dict[ProcedureKey, Set[SiteKey]]] = {}
+        self._proc_keys: Dict[str, List[ProcedureKey]] = {}
+        #: Per-procedure code version covering the procedure *and* its
+        #: transitive callees — the summary-staleness stamp.
+        self._deep_version: Dict[str, int] = {}
+        #: Memoized summary keys per procedure, so a version bump can purge
+        #: the now-unreachable entries instead of leaking them in an
+        #: unbounded memo table.
+        self._summary_keys: Dict[str, Set[Tuple]] = {}
+        self._last_exit: Dict[ProcedureKey, Any] = {}
+        # SCC summary-fixpoint state.
+        self._active: Set[ProcedureKey] = set()
+        self._assumed: Dict[ProcedureKey, Any] = {}
+        self._assumption_reads: Dict[ProcedureKey, int] = {}
+        #: Keys whose engine was dirtied (cells or entry) since their last
+        #: exhaustive evaluation; drained by :meth:`analyze_everything`.
+        self._dirty_keys: Set[ProcedureKey] = set()
+        self.counters: Dict[str, int] = {
+            "interproc_callsite_scans": 0,
+            "interproc_callsite_dirties": 0,
+            "interproc_engines_built": 0,
+            "interproc_summary_hits": 0,
+            "interproc_summary_misses": 0,
+            "interproc_summary_reentries": 0,
+            "interproc_fixpoint_rounds": 0,
+            "interproc_entry_syncs": 0,
+            "interproc_entry_updates": 0,
+            "interproc_entry_widenings": 0,
+        }
+        entry_key = (entry, ENTRY_CONTEXT)
+        initial = domain.initial(cfgs[entry].params)
+        self._root_entries[entry_key] = initial
+        self._engine_for(entry, ENTRY_CONTEXT, initial)
 
     # -- engine management ---------------------------------------------------------
 
@@ -62,7 +149,11 @@ class InterproceduralEngine:
         key = (name, context)
         if key in self.engines:
             return self.engines[key]
-        cfg = self.cfgs[name].copy()
+        # The CFG is *shared* among every context of the procedure: one
+        # structure cache, one dominator/loop analysis, regardless of how
+        # many contexts the policy creates.  (Mutation goes through
+        # `edit_procedure`, which splices every sibling engine.)
+        cfg = self.cfgs[name]
         engine = DaigEngine(
             cfg,
             self.domain,
@@ -72,14 +163,200 @@ class InterproceduralEngine:
         )
         self.engines[key] = engine
         self.entry_states[key] = entry_state
+        self._entry_target[key] = entry_state
+        self._proc_keys.setdefault(name, []).append(key)
+        self._site_callee[key] = {}
+        self.counters["interproc_engines_built"] += 1
+        # Index the engine's call cells once (O(procedure)), then keep the
+        # index patched from statement-cell deltas reported per splice.
+        engine.stmt_change_listener = self._make_stmt_listener(key)
+        engine.stmt_change_listener(set(), engine.stmt_cells())
         return engine
 
-    def _make_call_transfer(self, caller_key: ProcedureKey) -> Callable[[A.CallStmt, Any], Any]:
-        def call_transfer(stmt: A.CallStmt, state: Any) -> Any:
-            return self._analyze_call(caller_key, stmt, state)
+    def _make_call_transfer(self, caller_key: ProcedureKey) -> Callable[..., Any]:
+        def call_transfer(stmt: A.CallStmt, state: Any,
+                          site: Optional[Name] = None) -> Any:
+            return self._analyze_call(caller_key, stmt, state, site)
+        call_transfer.accepts_site = True  # type: ignore[attr-defined]
         return call_transfer
 
-    def _analyze_call(self, caller_key: ProcedureKey, stmt: A.CallStmt, state: Any) -> Any:
+    def _make_stmt_listener(self, caller_key: ProcedureKey) -> Callable[[Any, Any], None]:
+        def on_stmt_cells(removed, present) -> None:
+            self._update_site_index(caller_key, removed, present)
+        return on_stmt_cells
+
+    # -- call-site dependency index --------------------------------------------------
+
+    def _update_site_index(self, caller_key: ProcedureKey,
+                           removed, present) -> None:
+        """Patch the call-site index from one engine's statement deltas."""
+        sites = self._site_callee.setdefault(caller_key, {})
+        for skey in removed:
+            old = sites.pop(skey, None)
+            if old is not None:
+                self._drop_site(old, caller_key, skey)
+        for skey, stmt in present.items():
+            callee = (stmt.function
+                      if isinstance(stmt, A.CallStmt)
+                      and stmt.function in self.cfgs else None)
+            old = sites.get(skey)
+            if old == callee:
+                continue
+            if old is not None:
+                self._drop_site(old, caller_key, skey)
+            if callee is None:
+                sites.pop(skey, None)
+            else:
+                sites[skey] = callee
+                self._dependent_sites.setdefault(callee, {}).setdefault(
+                    caller_key, set()).add(skey)
+
+    def _drop_site(self, callee: str, caller_key: ProcedureKey,
+                   skey: SiteKey) -> None:
+        """A call cell vanished (or retargeted): unindex it and retract its
+        entry-state contribution from every context of its old callee
+        (cascading to the callee's own contributions when its entry moved)."""
+        dependents = self._dependent_sites.get(callee)
+        if dependents is not None:
+            cells = dependents.get(caller_key)
+            if cells is not None:
+                cells.discard(skey)
+                if not cells:
+                    del dependents[caller_key]
+            if not dependents:
+                self._dependent_sites.pop(callee, None)
+        site_id: SiteId = (caller_key, skey)
+        affected: Set[ProcedureKey] = set()
+        for callee_key in list(self._proc_keys.get(callee, ())):
+            if self._retract_site(callee_key, site_id):
+                affected.add(callee_key)
+        if affected:
+            self._retract_contributions_from(affected)
+
+    # -- entry-state maintenance -------------------------------------------------------
+
+    def _joined_contributions(self, key: ProcedureKey) -> Optional[Any]:
+        """The exact join of a callee's live contributions (and root entry),
+        or None when it has none."""
+        parts: List[Any] = []
+        root = self._root_entries.get(key)
+        if root is not None:
+            parts.append(root)
+        parts.extend(self._contribs.get(key, {}).values())
+        if not parts:
+            return None
+        joined = parts[0]
+        for part in parts[1:]:
+            joined = self.domain.join(joined, part)
+        return joined
+
+    def _set_entry_target(self, key: ProcedureKey, target: Any) -> None:
+        self._entry_target[key] = target
+        self.counters["interproc_entry_updates"] += 1
+        self._dirty_keys.add(key)
+        # The callee's results (for any consumer) are now stale.
+        self._dirty_callers_of(key[0])
+
+    def _refresh_entry_target(self, key: ProcedureKey,
+                              cause: Optional[SiteId] = None) -> None:
+        """Grow a callee's target entry after a contribution update.
+
+        The growth path never shrinks the target, and uses *per-site
+        delayed widening*: the first time a given call site grows the
+        target the new contribution is joined exactly; from its second
+        growth on, the target is widened.  A site that grows its callee's
+        entry repeatedly is, by construction, part of a feedback cycle —
+        recursion through the call graph, or a data cycle where the
+        callee's exit flows back into its own entry through the caller —
+        and widening there is what makes both the SCC summary fixpoint and
+        the cross-procedure re-dirtying converge, while single-shot growth
+        (the common acyclic case) keeps exact joins.
+        """
+        joined = self._joined_contributions(key)
+        if joined is None:
+            return
+        if key in self._entry_stale:
+            # Every previous contribution was retracted by an edit; the
+            # current target is a stale upper bound, so the first fresh
+            # contribution replaces it exactly.
+            self._entry_stale.discard(key)
+            if not self.domain.equal(joined, self._entry_target[key]):
+                self._set_entry_target(key, joined)
+            return
+        current = self._entry_target[key]
+        if self.domain.leq(joined, current):
+            return
+        grown = self.domain.join(current, joined)
+        if cause is not None:
+            growth_key = (key, cause)
+            growths = self._entry_growths.get(growth_key, 0)
+            self._entry_growths[growth_key] = growths + 1
+            if growths >= 1:
+                grown = self.domain.widen(current, grown)
+                self.counters["interproc_entry_widenings"] += 1
+        self._set_entry_target(key, grown)
+
+    def _recompute_entry_target(self, key: ProcedureKey) -> bool:
+        """Recompute a callee's target entry exactly, allowing shrinkage.
+
+        Called only on the retraction paths (edits, garbage collection),
+        where dropping stale contributions is what restores from-scratch
+        precision; evaluation-time growth goes through
+        :meth:`_refresh_entry_target` and is monotone.  Returns whether the
+        procedure's results may now change (the target moved, or became a
+        stale upper bound awaiting replacement) — in which case the
+        caller must also retract *this* key's own contributions.
+        """
+        joined = self._joined_contributions(key)
+        if joined is None:
+            # Nothing live contributes to this key anymore; keep the stale
+            # target as an upper bound for direct queries, but let the next
+            # recorded contribution replace it exactly.
+            already_stale = key in self._entry_stale
+            self._entry_stale.add(key)
+            self._dirty_keys.add(key)
+            return not already_stale
+        self._entry_stale.discard(key)
+        current = self._entry_target[key]
+        if self.domain.equal(joined, current):
+            return False
+        self._set_entry_target(key, joined)
+        return True
+
+    def _retract_site(self, callee_key: ProcedureKey, site_id: SiteId) -> bool:
+        """Drop one site's contribution to one callee context.
+
+        Returns True when the callee's results may have changed (so the
+        retraction must cascade to the callee's own call sites)."""
+        contribs = self._contribs.get(callee_key)
+        if contribs is None or site_id not in contribs:
+            return False
+        del contribs[site_id]
+        self._entry_growths.pop((callee_key, site_id), None)
+        return self._recompute_entry_target(callee_key)
+
+    def _sync_entry(self, key: ProcedureKey) -> None:
+        """Write the target entry into the engine's DAIG if it drifted.
+
+        Deliberately lazy: a summary hit never touches the callee's DAIG, so
+        entry-state churn that resolves to previously seen states does not
+        re-dirty whole callee analyses.
+        """
+        target = self._entry_target.get(key)
+        if target is None:
+            return
+        current = self.entry_states[key]
+        if self.domain.equal(current, target):
+            return
+        self.engines[key].set_entry_state(target)
+        self.entry_states[key] = target
+        self._dirty_keys.add(key)
+        self.counters["interproc_entry_syncs"] += 1
+
+    # -- the call transfer --------------------------------------------------------------
+
+    def _analyze_call(self, caller_key: ProcedureKey, stmt: A.CallStmt,
+                      state: Any, site: Optional[Name] = None) -> Any:
         callee = stmt.function
         if callee not in self.cfgs:
             # Unknown (external) callee: fall back to the domain's own
@@ -90,16 +367,127 @@ class InterproceduralEngine:
         callee_cfg = self.cfgs[callee]
         entry_state = self.domain.call_entry(state, callee_cfg.params, stmt.args)
         callee_key = (callee, context)
-        engine = self._engine_for(callee, context, entry_state)
-        # Widen the callee's entry state to cover this call site if needed.
-        current = self.entry_states[callee_key]
-        if not self.domain.leq(entry_state, current):
-            merged = self.domain.join(current, entry_state)
-            self.entry_states[callee_key] = merged
-            engine.set_entry_state(merged)
-        self.dependents.setdefault(callee_key, set()).add(caller_key)
-        callee_exit = engine.query_exit()
+        self._engine_for(callee, context, entry_state)
+        skey: SiteKey = ((site.loc, site.aux, site.index)
+                         if site is not None else (-1, -1, -1))
+        site_id: SiteId = (caller_key, skey)
+        contribs = self._contribs.setdefault(callee_key, {})
+        previous = contribs.get(site_id)
+        # A site's contribution grows monotonically *within* a program
+        # version (caller loop iterates re-evaluate the same site with
+        # growing states; replacing rather than joining would make entry
+        # targets oscillate and defeat loop convergence).  Retraction —
+        # which is what restores precision — happens only on edits.
+        updated = (entry_state if previous is None
+                   else self.domain.join(previous, entry_state))
+        if previous is None or not self.domain.equal(previous, updated):
+            contribs[site_id] = updated
+            self._refresh_entry_target(callee_key, cause=site_id)
+        if callee_key in self._active:
+            # A recursive call while the callee's own summary is being
+            # computed: consume the current assumption (⊥ on the first
+            # round); the fixpoint driver re-dirties this cell if the
+            # assumption later widens.
+            self.counters["interproc_summary_reentries"] += 1
+            self._assumption_reads[callee_key] = (
+                self._assumption_reads.get(callee_key, 0) + 1)
+            callee_exit = self._assumed.get(callee_key, self.domain.bottom())
+        else:
+            callee_exit = self._callee_exit(callee_key)
         return self.domain.call_return(state, callee_exit, stmt.target, stmt.args)
+
+    def _callee_exit(self, key: ProcedureKey) -> Any:
+        """The callee's exit summary at its current target entry state.
+
+        Memoized in the shared table under ``(procedure, context, code
+        version, entry state)``; only a miss touches the callee's engine.
+        """
+        name, context = key
+        target = self._entry_target[key]
+        version = self._deep_version.get(name, 0)
+        memo_args = (name, context, version, target)
+        found, cached = self._summary_memo.lookup("summary", memo_args)
+        if found:
+            self.counters["interproc_summary_hits"] += 1
+            self._note_exit(key, cached)
+            return cached
+        self.counters["interproc_summary_misses"] += 1
+        engine = self.engines[key]
+        self._sync_entry(key)
+        if self.callgraph.is_recursive(name):
+            exit_state = self._fixpoint_exit(key, engine)
+        else:
+            exit_state = engine.query_exit()
+        if not self._active:
+            # Memoize only assumption-free results: while any SCC fixpoint
+            # is still iterating, exits computed in its scope may depend on
+            # a provisional (not yet converged) assumption and must not
+            # outlive the iteration.  Once the session unwinds, re-demanded
+            # exits are cheap (the engine's cells are cached) and memoize
+            # then.  The entry target is re-read: evaluation (a recursive
+            # fixpoint, or feedback through a caller) may have grown it, and
+            # the computed exit belongs to the *final* entry, not the one
+            # this call demanded.
+            memo_args = (name, context,
+                         self._deep_version.get(name, 0),
+                         self._entry_target[key])
+            self._summary_memo.store("summary", memo_args, exit_state)
+            self._summary_keys.setdefault(name, set()).add(memo_args)
+        self._note_exit(key, exit_state)
+        return exit_state
+
+    def _note_exit(self, key: ProcedureKey, exit_state: Any) -> None:
+        """Record the summary consumers last saw; on change, dirty them."""
+        previous = self._last_exit.get(key)
+        self._last_exit[key] = exit_state
+        if previous is not None and not self.domain.equal(previous, exit_state):
+            self._dirty_callers_of(key[0])
+
+    def _fixpoint_exit(self, key: ProcedureKey, engine: DaigEngine) -> Any:
+        """Summary fixpoint for a procedure in a recursive SCC.
+
+        Iterate: evaluate the exit with recursive calls returning the
+        current assumption; if the assumption was consumed and the computed
+        exit is not covered by it, widen the assumption, dirty exactly the
+        dependent call cells, and re-evaluate.  The returned ``F(A) ⊑ A``
+        makes ``A`` a post-fixpoint, so the result soundly covers every
+        concrete execution of the recursion.
+        """
+        self._active.add(key)
+        try:
+            for _round in range(MAX_SUMMARY_ROUNDS):
+                self._sync_entry(key)
+                entry_before = self._entry_target[key]
+                reads_before = self._assumption_reads.get(key, 0)
+                exit_state = engine.query_exit()
+                # A round is conclusive only if the procedure's *entry*
+                # stayed stable while it ran: recursive calls inside the
+                # body grow the entry target (the base case may only become
+                # feasible after entry widening), and an exit computed
+                # against a still-moving entry — ⊥ included — must iterate,
+                # not converge.
+                entry_stable = self.domain.equal(
+                    self._entry_target[key], entry_before)
+                reads = self._assumption_reads.get(key, 0) != reads_before
+                assumed = self._assumed.get(key)
+                if entry_stable and not reads:
+                    return exit_state  # no recursive call was actually demanded
+                if (entry_stable and assumed is not None
+                        and self.domain.leq(exit_state, assumed)):
+                    return exit_state
+                if assumed is None:
+                    self._assumed[key] = exit_state
+                elif not self.domain.leq(exit_state, assumed):
+                    self._assumed[key] = self.domain.widen(
+                        assumed, self.domain.join(assumed, exit_state))
+                self.counters["interproc_fixpoint_rounds"] += 1
+                # Everything computed from the old assumption is stale.
+                self._dirty_callers_of(key[0])
+            raise SummaryDivergenceError(
+                "summary fixpoint for %r did not converge within %d rounds"
+                % (key, MAX_SUMMARY_ROUNDS))
+        finally:
+            self._active.discard(key)
 
     # -- queries ---------------------------------------------------------------------
 
@@ -107,43 +495,134 @@ class InterproceduralEngine:
         """The invariant at ``loc`` of ``procedure`` in a specific context."""
         key = (procedure, context)
         if key not in self.engines:
-            if procedure == self.entry and context == ENTRY_CONTEXT:
-                pass
-            elif context == ENTRY_CONTEXT and procedure != self.entry:
+            if context == ENTRY_CONTEXT and procedure in self.cfgs:
                 # Analyzing a procedure with no known callers: start from the
                 # domain's own initial state, as the paper's implementation
                 # does for queries in not-yet-analyzed functions.
-                self._engine_for(procedure, context,
-                                 self.domain.initial(self.cfgs[procedure].params))
+                state = self.domain.initial(self.cfgs[procedure].params)
+                self._root_entries[key] = state
+                self._engine_for(procedure, context, state)
+                self._refresh_entry_target(key)
             else:
                 raise KeyError("no analysis exists for %r in context %r"
                                % (procedure, context))
+        self._sync_entry(key)
         return self.engines[key].query_location(loc)
 
     def query_entry_exit(self) -> Any:
         """The abstract state at the entry procedure's exit."""
         return self.query(self.entry, self.cfgs[self.entry].exit)
 
+    def queried_roots(self) -> List[str]:
+        """Procedures analyzed from the domain's initial state because they
+        were queried directly while they had no known callers (plus the
+        entry procedure).  Replaying queries against these procedures on a
+        fresh engine reproduces this engine's root set — the equality
+        property tests use that to issue identical demand on both sides."""
+        return sorted({name for (name, _context) in self._root_entries})
+
     def analyze_everything(self) -> Dict[ProcedureKey, Dict[Loc, Any]]:
         """Exhaustively evaluate every constructed (procedure, context) DAIG.
 
-        The entry procedure is fully analyzed first, which constructs callee
-        DAIGs on demand; the loop then keeps evaluating until no new
-        (procedure, context) pairs appear.
+        A worklist of not-yet-analyzed and re-dirtied keys: evaluating an
+        engine may construct new callee engines (added to the worklist) or
+        dirty previously evaluated ones (entry/summary changes re-enqueue
+        them); the loop runs until everything is stable, so the returned
+        results are consistent with every procedure's final summary.
         """
-        results: Dict[ProcedureKey, Dict[Loc, Any]] = {}
-        pending = True
-        while pending:
-            pending = False
-            for key in list(self.engines):
-                if key not in results:
-                    results[key] = self.engines[key].query_all()
-                    pending = True
-        return results
+        # Contexts are opaque hashables (a custom policy may use unorderable
+        # values), so determinism comes from sorting on (name, repr(ctx)).
+        def order(key: ProcedureKey) -> Tuple[str, str]:
+            return (key[0], repr(key[1]))
 
-    def contexts_of(self, procedure: str) -> List[Context]:
-        """All contexts in which ``procedure`` has been analyzed."""
-        return [context for (name, context) in self.engines if name == procedure]
+        results: Dict[ProcedureKey, Dict[Loc, Any]] = {}
+        for _round in range(MAX_SUMMARY_ROUNDS):
+            todo = [key for key in sorted(self.engines, key=order)
+                    if key not in results]
+            if self._dirty_keys:
+                dirty = sorted((key for key in self._dirty_keys
+                                if key in self.engines and key not in todo),
+                               key=order)
+                self._dirty_keys.clear()
+                todo.extend(dirty)
+            if not todo:
+                return results
+            for key in todo:
+                self._sync_entry(key)
+                results[key] = self.engines[key].query_all()
+        raise SummaryDivergenceError(
+            "analyze_everything did not stabilize within %d rounds"
+            % (MAX_SUMMARY_ROUNDS,))
+
+    def contexts_of(self, procedure: str, live_only: bool = False) -> List[Context]:
+        """All contexts in which ``procedure`` has been analyzed.
+
+        ``live_only=True`` restricts to contexts still reachable from the
+        entry (or an explicit root query) in the *current* program — edits
+        can orphan contexts whose creating call sites no longer exist.
+        """
+        keys = list(self._proc_keys.get(procedure, ()))
+        if live_only:
+            live = self.live_keys()
+            keys = [key for key in keys if key in live]
+        return [context for (_name, context) in keys]
+
+    def live_keys(self) -> Set[ProcedureKey]:
+        """(procedure, context) pairs reachable from the entry and the
+        explicitly queried roots under the current program and policy.
+
+        O(call sites × live contexts) — an on-demand consistency view, not
+        part of the per-edit path.
+        """
+        live: Set[ProcedureKey] = set(self._root_entries)
+        live.add((self.entry, ENTRY_CONTEXT))
+        frontier = list(live)
+        while frontier:
+            name, context = frontier.pop()
+            for _loc, stmt in self.callgraph.call_sites.get(name, ()):
+                if stmt.function not in self.cfgs:
+                    continue
+                callee_key = (stmt.function,
+                              self.policy.callee_context(context, (name, stmt)))
+                if callee_key not in live:
+                    live.add(callee_key)
+                    frontier.append(callee_key)
+        return live
+
+    def collect_garbage(self) -> int:
+        """Retire engines for contexts no longer reachable (see
+        :meth:`live_keys`), retracting their entry-state contributions so
+        surviving callees regain the precision of a from-scratch analysis.
+        Returns the number of engines collected."""
+        live = self.live_keys()
+        dead = [key for key in self.engines if key not in live]
+        for key in dead:
+            engine = self.engines.pop(key)
+            engine.stmt_change_listener = None
+            self.cfgs[key[0]].remove_structure_listener(engine._listener)
+            self._proc_keys[key[0]].remove(key)
+            self.entry_states.pop(key, None)
+            self._entry_target.pop(key, None)
+            self._root_entries.pop(key, None)
+            self._contribs.pop(key, None)
+            self._last_exit.pop(key, None)
+            self._assumed.pop(key, None)
+            self._assumption_reads.pop(key, None)
+            self._dirty_keys.discard(key)
+            self._entry_stale.discard(key)
+        if dead:
+            dead_set = set(dead)
+            self._entry_growths = {
+                (ckey, (caller_key, skey)): count
+                for (ckey, (caller_key, skey)), count
+                in self._entry_growths.items()
+                if ckey not in dead_set and caller_key not in dead_set}
+        # Retract dead engines' contributions from surviving callees.
+        for key in dead:
+            sites = self._site_callee.pop(key, {})
+            for skey, callee in sites.items():
+                self._drop_site(callee, key, skey)
+        return len(dead)
 
     # -- edits -----------------------------------------------------------------------
 
@@ -152,67 +631,178 @@ class InterproceduralEngine:
         procedure: str,
         edit: Callable[[DaigEngine], None],
     ) -> None:
-        """Apply ``edit`` to every analysis of ``procedure`` and propagate.
+        """Apply ``edit`` to ``procedure`` and propagate across procedures.
 
-        ``edit`` receives each (procedure, context) engine in turn, inside a
-        :meth:`~repro.daig.engine.DaigEngine.batch_edits` block so that an
-        edit callback performing several structural edits costs one splice
-        per engine; after the edit, every transitive caller has the cells
-        downstream of its call sites to ``procedure`` dirtied, so stale
-        summaries are recomputed on the next query (lazily, exactly like
-        intraprocedural dirtying).
+        The CFG is shared by every context of the procedure, so the edit
+        callback runs once (against one engine, inside a
+        :meth:`~repro.daig.engine.DaigEngine.batch_edits` block); the
+        remaining contexts splice their DAIGs over the same reported region
+        (:meth:`~repro.daig.engine.DaigEngine.resync`).  Cross-procedure
+        propagation dirties exactly the dependent call cells from the
+        call-site index — there is no scan over any DAIG's ref set — and
+        bumps the summary version of the procedure and its transitive
+        callers, so stale summaries die with their memo keys.
         """
-        touched: List[ProcedureKey] = []
-        for key, engine in self.engines.items():
-            if key[0] == procedure:
-                with engine.batch_edits():
-                    edit(engine)
-                touched.append(key)
-        # Also keep the master CFG in sync for future engine constructions.
-        # The call graph is patched per-procedure rather than rebuilt: an
-        # edit touches one procedure, so only its call edges are re-derived.
-        if touched:
-            self.cfgs[procedure] = self.engines[touched[0]].cfg
+        if procedure not in self.cfgs:
+            raise KeyError("no procedure named %r" % (procedure,))
+        keys = list(self._proc_keys.get(procedure, ()))
+        if not keys:
+            # Never-analyzed procedure: materialize its entry-context engine
+            # so the edit lands somewhere.  Deliberately *not* a root entry
+            # (this is not a query): the initial state is only a stale
+            # placeholder, replaced exactly by the first real caller's
+            # contribution, so precision matches a from-scratch analysis.
+            state = self.domain.initial(self.cfgs[procedure].params)
+            key = (procedure, ENTRY_CONTEXT)
+            self._engine_for(procedure, ENTRY_CONTEXT, state)
+            self._entry_stale.add(key)
+            keys = [key]
+        primary = self.engines[keys[0]]
+        try:
+            with primary.batch_edits():
+                edit(primary)
+        finally:
+            for key in keys[1:]:
+                self.engines[key].resync()
+            self.cfgs[procedure] = primary.cfg
             self.callgraph.update_procedure(procedure, self.cfgs[procedure])
-            self.callgraph.check_nonrecursive()
-        self._dirty_callers_of(procedure)
+            if self.require_nonrecursive:
+                self.callgraph.check_nonrecursive()
+            # Drop recursion assumptions (re-derived from scratch on the
+            # next fixpoint, for precision) and stamp the new code version
+            # onto the procedure and its transitive callers.
+            self._assumed.clear()
+            self._bump_versions(procedure)
+            self._dirty_keys.update(keys)
+            touched = self._dirty_callers_of(procedure)
+            # Retract the contributions of every dirtied engine's call
+            # sites: the states they feed their callees may have changed,
+            # and re-demanding re-records exactly the live ones.
+            self._retract_contributions_from(set(keys) | touched)
 
-    def _dirty_callers_of(self, procedure: str, seen: Optional[Set[str]] = None) -> None:
-        seen = seen if seen is not None else set()
-        if procedure in seen:
-            return
-        seen.add(procedure)
-        for caller_key, engine in self.engines.items():
-            caller_name = caller_key[0]
-            call_cells = [
-                name for name in engine.daig.refs
-                if name.kind == "stmt" and engine.daig.has_value(name)
-                and isinstance(engine.daig.value(name), A.CallStmt)
-                and engine.daig.value(name).function == procedure
-            ]
-            if not call_cells:
+    def _bump_versions(self, procedure: str) -> None:
+        """Invalidate summaries of ``procedure`` and its transitive callers
+        (exactly the procedures whose analysis the edit can change) by
+        bumping their version stamps — O(dependent procedures).  The
+        memoized entries orphaned by each bump are purged so long edit
+        sessions do not leak dead exit states in the shared memo table."""
+        stale = {procedure} | self.callgraph.transitive_callers(procedure)
+        for name in stale:
+            self._deep_version[name] = self._deep_version.get(name, 0) + 1
+            for memo_args in self._summary_keys.pop(name, ()):
+                self._summary_memo.discard("summary", memo_args)
+
+    def _dirty_callers_of(self, procedure: str) -> Set[ProcedureKey]:
+        """Dirty the call cells dependent on ``procedure``, transitively.
+
+        Driven entirely by the call-site index: the work is proportional to
+        the number of dependent call sites (plus their downstream cells),
+        never to the size of any DAIG or of the program.  Returns the caller
+        engine keys whose cells were dirtied.
+        """
+        touched: Set[ProcedureKey] = set()
+        seen: Set[str] = set()
+        # Tripwire: every engine built through `_engine_for` is indexed; an
+        # engine missing from the index would silently miss dirtying, so it
+        # falls back to the legacy full ref-set scan — and the scan counter
+        # (asserted == 0 in tests and on the CI bench artifact) exposes it.
+        unindexed = [key for key in self.engines
+                     if key not in self._site_callee]
+        stack = [procedure]
+        while stack:
+            proc = stack.pop()
+            if proc in seen:
                 continue
-            dirty_forward(engine.daig, engine.builder, call_cells)
-            self._dirty_callers_of(caller_name, seen)
+            seen.add(proc)
+            for caller_key, skeys in list(
+                    self._dependent_sites.get(proc, {}).items()):
+                engine = self.engines.get(caller_key)
+                if engine is None:
+                    continue
+                names = [name for name in (stmt_name(*skey) for skey in skeys)
+                         if name in engine.daig.refs]
+                if not names:
+                    continue
+                dirty_forward(engine.daig, engine.builder, names)
+                self.counters["interproc_callsite_dirties"] += len(names)
+                self._dirty_keys.add(caller_key)
+                touched.add(caller_key)
+                stack.append(caller_key[0])
+            for caller_key in unindexed:
+                engine = self.engines[caller_key]
+                self.counters["interproc_callsite_scans"] += 1
+                names = [
+                    name for name in engine.daig.refs
+                    if name.kind == "stmt" and engine.daig.has_value(name)
+                    and isinstance(engine.daig.value(name), A.CallStmt)
+                    and engine.daig.value(name).function == proc
+                ]
+                if not names:
+                    continue
+                dirty_forward(engine.daig, engine.builder, names)
+                self.counters["interproc_callsite_dirties"] += len(names)
+                self._dirty_keys.add(caller_key)
+                touched.add(caller_key)
+                stack.append(caller_key[0])
+        return touched
+
+    def _retract_contributions_from(self, keys: Set[ProcedureKey]) -> None:
+        """Drop the entry-state contributions recorded by the given engines'
+        call sites, cascading through entry-target changes.
+
+        Called on the edit path for every engine whose cells the edit
+        dirtied: the states those sites feed their callees may have changed,
+        so their old contributions are retracted and re-recorded on demand —
+        exactly the contributions a from-scratch analysis would see.  When a
+        retraction moves a callee's entry target, that callee's own results
+        may change too, so *its* contributions are retracted as well; the
+        cascade is bounded by the transitively affected engines' call
+        sites (each engine is processed at most once per edit event)."""
+        pending = list(keys)
+        seen: Set[ProcedureKey] = set(keys)
+        while pending:
+            caller_key = pending.pop()
+            for skey, callee in list(
+                    self._site_callee.get(caller_key, {}).items()):
+                site_id: SiteId = (caller_key, skey)
+                for callee_key in list(self._proc_keys.get(callee, ())):
+                    if (self._retract_site(callee_key, site_id)
+                            and callee_key not in seen):
+                        seen.add(callee_key)
+                        pending.append(callee_key)
 
     # -- statistics ----------------------------------------------------------------------
 
     def total_stats(self) -> Dict[str, int]:
-        """Aggregate query and edit statistics over every constructed DAIG
-        (including the per-procedure structure/snapshot phase counters)."""
+        """Aggregate query/edit statistics over every constructed DAIG.
+
+        Structure-phase counters are shared per *procedure* (one CFG and one
+        structure cache regardless of context count), so they are folded in
+        once per procedure, not once per engine."""
         totals: Dict[str, int] = {}
         for engine in self.engines.values():
             for key, value in engine.stats.as_dict().items():
                 totals[key] = totals.get(key, 0) + value
-            for key, value in engine.edit_stats.as_dict().items():
+            for key, value in engine.edit_stats.as_dict(
+                    include_structure=False).items():
+                totals[key] = totals.get(key, 0) + value
+        for name in {key[0] for key in self.engines}:
+            for key, value in self.cfgs[name].structure_stats().items():
                 totals[key] = totals.get(key, 0) + value
         totals["daigs"] = len(self.engines)
+        totals.update(self.counters)
         return totals
 
     def total_phase_seconds(self) -> Dict[str, float]:
-        """Per-phase wall-clock seconds summed over every constructed DAIG."""
+        """Per-phase wall-clock seconds summed over every constructed DAIG
+        (the shared structure phase counted once per procedure)."""
         totals: Dict[str, float] = {}
         for engine in self.engines.values():
-            for key, value in engine.phase_seconds().items():
+            for key, value in engine.phase_seconds(
+                    include_structure=False).items():
                 totals[key] = totals.get(key, 0.0) + value
+        structure = 0.0
+        for name in {key[0] for key in self.engines}:
+            structure += self.cfgs[name].structure_seconds()
+        totals["structure"] = totals.get("structure", 0.0) + structure
         return totals

@@ -527,3 +527,23 @@ def all_array_programs() -> Dict[str, Program]:
 def all_list_programs() -> Dict[str, Program]:
     """Parse the full linked-list suite."""
     return {name: list_program(name) for name in sorted(LIST_PROGRAMS)}
+
+
+def bystander_source(bystanders: int) -> str:
+    """Source of the cross-procedure edit-locality subject program.
+
+    ``main`` calls one ``leaf`` (the edit target) plus ``bystanders``
+    unrelated helpers: only the single ``leaf`` call site depends on leaf
+    edits, so the dependent-call-site work of a leaf edit must stay
+    constant as ``bystanders`` grows.  Shared by the interprocedural
+    locality benchmark and its unit tests so both assert on the same
+    program shape.
+    """
+    parts = ["function leaf(x) { var r = x + 1; return r; }"]
+    for i in range(bystanders):
+        parts.append("function by%d(x) { var b = x * 2; return b; }" % i)
+    calls = ["  var l = leaf(1);"]
+    for i in range(bystanders):
+        calls.append("  var c%d = by%d(%d);" % (i, i, i))
+    parts.append("function main() {\n%s\n  return l;\n}" % "\n".join(calls))
+    return "\n".join(parts)

@@ -13,14 +13,18 @@ from .generator import (
     LOOP_PROBABILITY,
     QUERIES_PER_EDIT,
     STATEMENT_PROBABILITY,
+    MultiProcStep,
+    MultiProcWorkload,
     WorkloadGenerator,
     WorkloadStep,
 )
 from .driver import (
     WorkloadResult,
+    generate_interproc_trials,
     generate_trials,
     merge_results,
     run_comparison,
+    run_interproc_trial,
     run_trial,
 )
 from .stats import (
@@ -44,12 +48,16 @@ __all__ = [
     "LOOP_PROBABILITY",
     "QUERIES_PER_EDIT",
     "STATEMENT_PROBABILITY",
+    "MultiProcStep",
+    "MultiProcWorkload",
     "WorkloadGenerator",
     "WorkloadStep",
     "WorkloadResult",
+    "generate_interproc_trials",
     "generate_trials",
     "merge_results",
     "run_comparison",
+    "run_interproc_trial",
     "run_trial",
     "LatencySample",
     "cumulative_distribution",

@@ -21,11 +21,13 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
-from .generator import WorkloadGenerator, WorkloadStep
+from .generator import (MultiProcStep, MultiProcWorkload, WorkloadGenerator,
+                        WorkloadStep)
 from .stats import LatencySample, summarize
 
 if TYPE_CHECKING:  # imported only for type checking to avoid an import cycle
-    from ..analysis.config import AnalysisConfiguration
+    from ..analysis.config import (AnalysisConfiguration,
+                                   InterproceduralConfiguration)
 
 
 @dataclass
@@ -86,6 +88,52 @@ def run_trial(
     result.work = configuration.work_stats()
     result.phases = configuration.phase_stats()
     return result
+
+
+def run_interproc_trial(
+    configuration: "InterproceduralConfiguration",
+    steps: Sequence[MultiProcStep],
+    seed: int = 0,
+    clock: Callable[[], float] = time.perf_counter,
+    progress: Optional[Callable[[int, float], None]] = None,
+) -> WorkloadResult:
+    """Run a multi-procedure edit/query stream against a configuration.
+
+    The interprocedural analogue of :func:`run_trial`: each step's latency
+    covers applying the edit to its procedure (plus whatever eager
+    re-analysis the configuration performs) and answering the step's
+    (procedure, location) queries.
+    """
+    result = WorkloadResult(configuration.name, seed)
+    for step in steps:
+        started = clock()
+        configuration.step(step)
+        elapsed = clock() - started
+        result.samples.append(LatencySample(step.program_size, elapsed))
+        if progress is not None:
+            progress(step.index, elapsed)
+    result.work = configuration.work_stats()
+    result.phases = configuration.phase_stats()
+    return result
+
+
+def generate_interproc_trials(
+    edits: int,
+    trials: int,
+    base_seed: int = 0,
+    procedures: int = 5,
+    recursive: bool = False,
+    queries_per_edit: int = 5,
+) -> List[MultiProcWorkload]:
+    """Pre-generate independent multi-procedure workloads (fixed seeds, so
+    every configuration sees identical streams)."""
+    workloads: List[MultiProcWorkload] = []
+    for trial in range(trials):
+        generator = WorkloadGenerator(seed=base_seed + trial,
+                                      queries_per_edit=queries_per_edit)
+        workloads.append(generator.generate_multiprocedure(
+            edits, procedures=procedures, recursive=recursive))
+    return workloads
 
 
 def generate_trials(

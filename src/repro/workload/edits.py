@@ -123,6 +123,19 @@ class ReplaceStatement(ProgramEdit):
         return "replace ℓ%d→ℓ%d with `%s`" % (self.location, self.dst, self.stmt)
 
 
+def relabel_assignment(target: str, value: A.Expr):
+    """An ``edit_procedure`` callback relabelling the first assignment to
+    ``target`` with a new right-hand side — the statement-only edit the
+    interprocedural locality experiments drive in a loop (shared between
+    the benchmark and the unit tests so both measure the same edit)."""
+    def edit(engine: DaigEngine) -> None:
+        edge = next(e for e in engine.cfg.edges
+                    if isinstance(e.stmt, A.AssignStmt)
+                    and e.stmt.target == target)
+        engine.replace_statement(edge, A.AssignStmt(target, value))
+    return edit
+
+
 @dataclass(frozen=True)
 class DeleteStatement(ProgramEdit):
     """Delete the statement on an existing edge (replace with ``skip``,

@@ -46,6 +46,38 @@ class WorkloadStep:
     program_size: int
 
 
+@dataclass(frozen=True)
+class MultiProcStep:
+    """One step of a multi-procedure session: an edit to one procedure plus
+    follow-up queries at (procedure, location) sites across the program."""
+
+    index: int
+    procedure: str
+    edit: ProgramEdit
+    query_sites: Tuple[Tuple[str, Loc], ...]
+    program_size: int
+
+
+@dataclass(frozen=True)
+class MultiProcWorkload:
+    """A pre-generated multi-procedure edit/query stream.
+
+    ``initial_cfgs`` is the program every configuration starts from (copies
+    of the seed CFGs, *before* any step's edit was applied); ``steps`` is
+    the shared edit/query stream.  ``recursive`` records whether backward
+    (cycle-forming) call targets were permitted during generation.
+    """
+
+    initial_cfgs: dict
+    steps: Tuple[MultiProcStep, ...]
+    recursive: bool
+
+    def fresh_cfgs(self) -> dict:
+        """Independent copies of the initial program (one per
+        configuration, so trials never share mutable state)."""
+        return {name: cfg.copy() for name, cfg in self.initial_cfgs.items()}
+
+
 class WorkloadGenerator:
     """Deterministic random generator of edit/query workloads."""
 
@@ -175,6 +207,77 @@ class WorkloadGenerator:
             queries = self._sample_queries()
             steps.append(WorkloadStep(index, edit, queries, self.cfg.size()))
         return steps
+
+    # -- multi-procedure workloads -------------------------------------------------
+
+    def generate_multiprocedure(
+        self,
+        edits: int,
+        procedures: int = 5,
+        recursive: bool = False,
+        statement_only_fraction: float = 0.25,
+        call_probability: float = 0.18,
+        entry: str = "main",
+    ) -> MultiProcWorkload:
+        """Generate a multi-procedure edit/query stream.
+
+        The program starts as ``procedures`` initially-empty procedures
+        (``main`` plus helpers, each taking one parameter); every step picks
+        a procedure, applies a random edit to it (structural, or — with
+        ``statement_only_fraction`` probability — a statement relabel), and
+        samples ``queries_per_edit`` (procedure, location) query sites
+        across the whole program.  Generated calls have the form
+        ``x = p(y)``; with ``recursive=False`` a procedure only calls
+        strictly later procedures (the call graph stays a DAG), while
+        ``recursive=True`` also permits self- and backward calls, producing
+        direct and mutual recursion for the SCC summary fixpoint.
+        """
+        if procedures < 1:
+            raise ValueError("need at least one procedure")
+        names = [entry] + ["p%d" % i for i in range(1, procedures)]
+        cfgs: dict = {}
+        for name in names:
+            cfg = Cfg(name, params=() if name == entry else ("a0",))
+            cfg.add_edge(cfg.entry, A.SkipStmt(), cfg.exit)
+            cfgs[name] = cfg
+        initial = {name: cfg.copy() for name, cfg in cfgs.items()}
+        order = {name: position for position, name in enumerate(names)}
+        saved = (self.cfg, self.call_targets, self.call_probability,
+                 self.variables)
+        # Let generated statements assign the return variable so callee
+        # exits actually flow information back through ``call_return``.
+        self.variables = self.variables + [A.RETURN_VARIABLE]
+        steps = []
+        try:
+            for index in range(edits):
+                procedure = self.rng.choice(names)
+                cfg = cfgs[procedure]
+                allowed = tuple(
+                    (name, 1) for name in names
+                    if name != entry
+                    and (recursive or order[name] > order[procedure]))
+                self.cfg = cfg
+                self.call_targets = allowed
+                self.call_probability = call_probability if allowed else 0.0
+                if (cfg.size() > 1
+                        and self.rng.random() < statement_only_fraction):
+                    edit = self.next_statement_only_edit()
+                else:
+                    edit = self.next_edit()
+                edit.apply_to_cfg(cfg)
+                sites = []
+                for _ in range(self.queries_per_edit):
+                    query_proc = self.rng.choice(names)
+                    query_cfg = cfgs[query_proc]
+                    points = query_cfg.insertion_points() + [query_cfg.exit]
+                    sites.append((query_proc, self.rng.choice(points)))
+                steps.append(MultiProcStep(
+                    index, procedure, edit, tuple(sites),
+                    sum(c.size() for c in cfgs.values())))
+        finally:
+            (self.cfg, self.call_targets, self.call_probability,
+             self.variables) = saved
+        return MultiProcWorkload(initial, tuple(steps), recursive)
 
     def callee_programs(self) -> dict:
         """Source text for the predefined callee procedures of the grammar."""

@@ -85,6 +85,39 @@ class TestCallGraph:
         graph = CallGraph(cfgs_of("function main() { log(1); return 0; }"))
         assert graph.callees("main") == set()
 
+    def test_reverse_index_tracks_updates(self):
+        cfgs = cfgs_of(CHAIN_PROGRAM)
+        graph = CallGraph(cfgs)
+        assert graph.callers("middle") == {"main"}
+        assert graph.transitive_callers("leaf") == {"middle", "main"}
+        # Rewire middle's call from leaf to nothing: its reverse entries
+        # must follow without a whole-graph rebuild.
+        middle = cfgs["middle"]
+        call_edge = next(e for e in middle.edges
+                         if isinstance(e.stmt, A.CallStmt))
+        middle.replace_edge_statement(call_edge, A.SkipStmt())
+        graph.update_procedure("middle", middle)
+        assert graph.callers("leaf") == set()
+        assert graph.callees("middle") == set()
+        assert graph.callers("middle") == {"main"}
+
+    def test_sccs_and_recursive_procedures(self):
+        graph = CallGraph(cfgs_of(RECURSIVE_PROGRAM))
+        assert graph.scc_of("f") == frozenset({"f", "g"})
+        assert graph.recursive_procedures() == {"f", "g"}
+        assert graph.is_recursive("f") and not graph.is_recursive("main")
+        order = graph.topological_order()
+        assert order.index("f") < order.index("main")
+        assert order.index("g") < order.index("main")
+
+    def test_self_call_is_recursive(self):
+        graph = CallGraph(cfgs_of(
+            "function f(x) { var y = f(x); return y; }"
+            "function main() { var z = f(1); return z; }"))
+        assert graph.is_recursive("f")
+        with pytest.raises(RecursionError_):
+            graph.check_nonrecursive()
+
 
 class TestContextPolicies:
     def test_insensitive_always_same_context(self):
@@ -149,9 +182,15 @@ class TestInterproceduralAnalysis:
         # 1-call-site merges leaf's two transitive callers, losing precision.
         assert merged_bounds != (103, 103)
 
-    def test_recursion_rejected_at_construction(self):
+    def test_recursion_rejected_only_on_opt_in(self):
+        # Recursive programs analyze via the SCC summary fixpoint by
+        # default; the paper's original restriction is an opt-in validation.
+        engine = InterproceduralEngine(cfgs_of(RECURSIVE_PROGRAM),
+                                       IntervalDomain())
+        assert engine.query_entry_exit() is not None
         with pytest.raises(RecursionError_):
-            InterproceduralEngine(cfgs_of(RECURSIVE_PROGRAM), IntervalDomain())
+            InterproceduralEngine(cfgs_of(RECURSIVE_PROGRAM), IntervalDomain(),
+                                  require_nonrecursive=True)
 
     def test_unknown_external_calls_are_havocked(self):
         domain = IntervalDomain()
@@ -208,6 +247,40 @@ class TestInterproceduralEdits:
         engine.edit_procedure("double", edit)
         after = domain.numeric_bounds(A.Var("c"), engine.query_entry_exit())
         assert after == (28, 28)
+
+    def test_editing_never_scans_daig_ref_sets(self):
+        domain = IntervalDomain()
+        engine = InterproceduralEngine(cfgs_of(CALL_PROGRAM), domain,
+                                       CallStringSensitive(1))
+        engine.query_entry_exit()
+
+        def edit(procedure_engine):
+            target = next(
+                edge for edge in procedure_engine.cfg.edges
+                if isinstance(edge.stmt, A.AssignStmt) and edge.stmt.target == "r")
+            procedure_engine.replace_statement(
+                target, A.AssignStmt("r", A.BinOp("*", A.Var("x"), A.IntLit(3))))
+
+        engine.edit_procedure("double", edit)
+        # The edit itself dirties exactly main's two call cells, via the
+        # index; the follow-up query adds per-context exit-change dirtying,
+        # still bounded by the dependent sites.
+        assert engine.counters["interproc_callsite_dirties"] == 2
+        engine.query_entry_exit()
+        assert engine.counters["interproc_callsite_scans"] == 0
+        assert engine.counters["interproc_callsite_dirties"] <= 8
+
+    def test_repeated_entry_states_hit_the_summary_memo(self):
+        domain = IntervalDomain()
+        engine = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                       CallStringSensitive(2))
+        engine.analyze_everything()
+        hits_before = engine.counters["interproc_summary_hits"]
+        misses_before = engine.counters["interproc_summary_misses"]
+        # Re-demanding the same exits at unchanged entries is pure reuse.
+        engine.query_entry_exit()
+        assert engine.counters["interproc_summary_misses"] == misses_before
+        assert engine.counters["interproc_summary_hits"] >= hits_before
 
     def test_editing_the_entry_procedure(self):
         domain = IntervalDomain()
