@@ -72,6 +72,8 @@ def fig10_results(workload_scale):
         work[configuration_cls.name] = total_work
         phases[configuration_cls.name] = total_phases
 
+    from repro.intern import intern_stats
+
     artifact = {
         "workload": {"edits": edits, "trials": trials, "batch_size": batch_size},
         "configurations": {
@@ -86,8 +88,54 @@ def fig10_results(workload_scale):
             }
             for name, samples in results.items()
         },
+        # Hash-consing effectiveness over the whole workload: per-type intern
+        # table hit/miss counters (hits = states/names reused by identity).
+        "intern": intern_stats(),
+        "perf_trajectory": _perf_trajectory(
+            {"edits": edits, "trials": trials, "batch_size": batch_size},
+            {name: phase.get("query", 0.0) for name, phase in phases.items()}),
     }
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_fig10.json")
     with open(path, "w") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
     return results
+
+
+#: Query-phase seconds measured at the reference scale (edits=120, trials=2,
+#: batch_size=1, base_seed=0) immediately *before* the hash-consing PR — the
+#: first entry of the perf trajectory.  Update this table (and the label)
+#: whenever a PR materially moves the numbers, so the artifact always records
+#: where the current numbers came from.
+_QUERY_SECONDS_BASELINE = {
+    "label": "pre-hash-consing",
+    "workload": {"edits": 120, "trials": 2, "batch_size": 1},
+    "query_seconds": {
+        "batch": 7.3164,
+        "incremental": 1.5026,
+        "demand-driven": 5.4498,
+        "incr+demand": 1.1087,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def fig10_query_baseline():
+    """The pre-hash-consing query-phase seconds (perf-trajectory anchor)."""
+    return _QUERY_SECONDS_BASELINE
+
+
+def _perf_trajectory(workload, current_query_seconds):
+    """Before/after query-phase seconds (speedups only at the same scale)."""
+    trajectory = {
+        "baseline": _QUERY_SECONDS_BASELINE,
+        "current_query_seconds": current_query_seconds,
+        "comparable": workload == _QUERY_SECONDS_BASELINE["workload"],
+    }
+    if trajectory["comparable"]:
+        baseline = _QUERY_SECONDS_BASELINE["query_seconds"]
+        trajectory["speedup"] = {
+            name: round(baseline[name] / seconds, 3)
+            for name, seconds in current_query_seconds.items()
+            if name in baseline and seconds > 0.0
+        }
+    return trajectory

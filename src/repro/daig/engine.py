@@ -136,6 +136,10 @@ class DaigEngine:
         self.stmt_change_listener: Optional[
             Callable[[Any, Any], None]] = None
 
+    def _values_equal(self, first: Any, second: Any) -> bool:
+        # Interned states make the common case a pointer comparison.
+        return first is second or self.domain.equal(first, second)
+
     # -- introspection -------------------------------------------------------------
 
     @property
@@ -247,8 +251,8 @@ class DaigEngine:
             raise KeyError("no loop structure for head %d" % head)
         first, second = comp.srcs
         if (self.daig.has_value(first) and self.daig.has_value(second)
-                and self.domain.equal(self.daig.value(first),
-                                      self.daig.value(second))):
+                and self._values_equal(self.daig.value(first),
+                                       self.daig.value(second))):
             self.evaluator.query(fix_cell)
             return
         if self.daig.has_value(fix_cell):

@@ -55,22 +55,30 @@ class MemoTable:
         if not self.enabled:
             self.misses += 1
             return False, None
-        key = self.key(func, args)
-        if key is not None and key in self._table:
-            self.hits += 1
-            if self.capacity is not None:
-                self._table.move_to_end(key)
-            return True, self._table[key]
-        self.misses += 1
-        return False, None
+        # One dict probe: the key tuple is hashed exactly once (and interned
+        # states/names inside it carry cached hashes), where a key() +
+        # containment + access sequence would hash it three times.
+        try:
+            value = self._table[(func,) + args]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        except TypeError:  # an unhashable input cannot be memoized
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        if self.capacity is not None:
+            self._table.move_to_end((func,) + args)
+        return True, value
 
     def store(self, func: str, args: Tuple[Any, ...], value: Any) -> None:
         if not self.enabled:
             return
-        key = self.key(func, args)
-        if key is None:
+        key = (func,) + args
+        try:
+            self._table[key] = value
+        except TypeError:  # an unhashable input cannot be memoized
             return
-        self._table[key] = value
         if self.capacity is not None:
             self._table.move_to_end(key)
             while len(self._table) > self.capacity:

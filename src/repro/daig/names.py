@@ -20,13 +20,17 @@ structured-name algebra with the same roles:
   image of the loop body under the abstract semantics, input to the ``k``-th
   widening.
 
-All name equality is structural, exactly as in the paper.
+All name equality is structural, exactly as in the paper — and, because
+names are hash-consed through :mod:`repro.intern`, structural equality *is*
+pointer equality: constructing the same name twice yields the same object,
+so the DAIG's indices and the memo table hash each name exactly once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
+
+from ..intern import InternTable
 
 Iterations = Tuple[Tuple[int, int], ...]
 
@@ -42,7 +46,6 @@ TYPE_STMT = "Stmt"
 TYPE_STATE = "Sigma"
 
 
-@dataclass(frozen=True)
 class Name:
     """A structured DAIG name.  Fields are interpreted per ``kind``:
 
@@ -57,13 +60,52 @@ class Name:
     ==========  =========  ===========================  =====================
 
     Statement names additionally carry ``index`` for join disambiguation.
+
+    Names are interned: equal field tuples yield the *same* object, equality
+    is identity, and the hash is computed once at construction.
     """
+
+    __slots__ = ("kind", "loc", "aux", "index", "iters", "_hash", "__weakref__")
+
+    _intern = InternTable("daig.Name")
 
     kind: str
     loc: int
-    aux: int = 0
-    index: int = 0
-    iters: Iterations = ()
+    aux: int
+    index: int
+    iters: Iterations
+
+    def __new__(cls, kind: str, loc: int, aux: int = 0, index: int = 0,
+                iters: Iterations = ()) -> "Name":
+        key = (kind, loc, aux, index, iters)
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        self = object.__new__(cls)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "loc", loc)
+        object.__setattr__(self, "aux", aux)
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "iters", iters)
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("Name is immutable (interned)")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # object.__eq__ (identity) is exactly structural equality for interned
+    # names; __reduce__ re-interns on unpickle so the invariant survives
+    # serialization (needed for the planned parallel evaluation path).
+    def __reduce__(self):
+        return (Name, (self.kind, self.loc, self.aux, self.index, self.iters))
+
+    def __repr__(self) -> str:
+        return "Name(kind=%r, loc=%r, aux=%r, index=%r, iters=%r)" % (
+            self.kind, self.loc, self.aux, self.index, self.iters)
 
     def cell_type(self) -> str:
         return TYPE_STMT if self.kind == STMT else TYPE_STATE

@@ -202,7 +202,8 @@ class QueryEvaluator:
         """
         first = self.daig.value(comp.srcs[0])
         second = self.daig.value(comp.srcs[1])
-        if self.domain.equal(first, second):
+        # Interned states make the common converged case a pointer check.
+        if first is second or self.domain.equal(first, second):
             self.daig.set_value(name, second)
             self.stats.cells_computed += 1
             return

@@ -23,16 +23,16 @@ domain does not track (heap fields, opaque calls).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from ..concrete.state import Address, ArrayValue, ConcreteState
+from ..intern import InternTable
 from ..lang import ast as A
 from .base import AbstractDomain
 from .values import ValueLattice
 
 
-@dataclass(frozen=True)
 class ScalarValue:
     """Abstraction of a single (non-array) value.
 
@@ -40,11 +40,46 @@ class ScalarValue:
     abstracted as 0/1); ``maybe_null`` and ``maybe_other`` record whether the
     value may additionally be ``null`` or some non-numeric reference (a
     record address, a string, ...).
+
+    Scalar values are interned (hash-consed): constructing an equal value
+    twice yields the same object, so equality is identity and the hash is
+    computed once.
     """
 
+    __slots__ = ("num", "maybe_null", "maybe_other", "_hash", "__weakref__")
+
+    _intern = InternTable("nonrel.ScalarValue")
+
     num: Any
-    maybe_null: bool = False
-    maybe_other: bool = False
+    maybe_null: bool
+    maybe_other: bool
+
+    def __new__(cls, num: Any, maybe_null: bool = False,
+                maybe_other: bool = False) -> "ScalarValue":
+        key = (num, maybe_null, maybe_other)
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        self = object.__new__(cls)
+        object.__setattr__(self, "num", num)
+        object.__setattr__(self, "maybe_null", maybe_null)
+        object.__setattr__(self, "maybe_other", maybe_other)
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("ScalarValue is immutable (interned)")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (ScalarValue, (self.num, self.maybe_null, self.maybe_other))
+
+    def __repr__(self) -> str:
+        return "ScalarValue(num=%r, maybe_null=%r, maybe_other=%r)" % (
+            self.num, self.maybe_null, self.maybe_other)
 
     def __str__(self) -> str:
         parts = [str(self.num)]
@@ -55,12 +90,42 @@ class ScalarValue:
         return "{" + ", ".join(parts) + "}"
 
 
-@dataclass(frozen=True)
 class ArraySummary:
-    """Abstraction of an array: its length and a summary of its elements."""
+    """Abstraction of an array: its length and a summary of its elements.
+
+    Interned like :class:`ScalarValue`.
+    """
+
+    __slots__ = ("length", "element", "_hash", "__weakref__")
+
+    _intern = InternTable("nonrel.ArraySummary")
 
     length: Any
     element: ScalarValue
+
+    def __new__(cls, length: Any, element: ScalarValue) -> "ArraySummary":
+        key = (length, element)
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        self = object.__new__(cls)
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("ArraySummary is immutable (interned)")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (ArraySummary, (self.length, self.element))
+
+    def __repr__(self) -> str:
+        return "ArraySummary(length=%r, element=%r)" % (self.length, self.element)
 
     def __str__(self) -> str:
         return "array(len=%s, elem=%s)" % (self.length, self.element)
@@ -69,21 +134,58 @@ class ArraySummary:
 Binding = Union[ScalarValue, ArraySummary]
 
 
-@dataclass(frozen=True)
 class EnvState:
-    """An abstract environment: sorted variable bindings, or ⊥."""
+    """An abstract environment: sorted variable bindings, or ⊥.
 
-    bindings: Tuple[Tuple[str, Binding], ...] = ()
-    bottom: bool = False
+    Environments are interned, so two structurally equal states are the
+    *same* object: ``EnvState`` equality is identity and the domain's
+    ``equal`` check is O(1).  Each state also carries a name → position
+    index so :meth:`get` is a dict lookup instead of a linear scan.
+    """
+
+    __slots__ = ("bindings", "bottom", "_index", "_keys", "_hash", "__weakref__")
+
+    _intern = InternTable("nonrel.EnvState")
+
+    bindings: Tuple[Tuple[str, Binding], ...]
+    bottom: bool
+
+    def __new__(cls, bindings: Tuple[Tuple[str, Binding], ...] = (),
+                bottom: bool = False) -> "EnvState":
+        key = (bindings, bottom)
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        self = object.__new__(cls)
+        object.__setattr__(self, "bindings", bindings)
+        object.__setattr__(self, "bottom", bottom)
+        object.__setattr__(self, "_index",
+                           {name: pos for pos, (name, _) in enumerate(bindings)})
+        object.__setattr__(self, "_keys", tuple(name for name, _ in bindings))
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("EnvState is immutable (interned)")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (EnvState, (self.bindings, self.bottom))
+
+    def __repr__(self) -> str:
+        return "EnvState(bindings=%r, bottom=%r)" % (self.bindings, self.bottom)
 
     def as_dict(self) -> Dict[str, Binding]:
         return dict(self.bindings)
 
     def get(self, name: str) -> Optional[Binding]:
-        for key, value in self.bindings:
-            if key == name:
-                return value
-        return None
+        pos = self._index.get(name)
+        if pos is None:
+            return None
+        return self.bindings[pos][1]
 
     def __str__(self) -> str:
         if self.bottom:
@@ -103,36 +205,50 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
     def __init__(self, lattice: ValueLattice) -> None:
         self.lattice = lattice
         self.name = "%s-env" % lattice.name
+        # Singletons, allocated once per domain instead of on every transfer
+        # (interning would dedup them anyway, but caching also skips the
+        # lattice top/bottom/join calls on the hot path).
+        self._top = ScalarValue(lattice.top(), True, True)
+        self._null = ScalarValue(lattice.bottom(), True, False)
+        self._other = ScalarValue(lattice.bottom(), False, True)
+        self._bool = ScalarValue(
+            lattice.join(lattice.from_const(0), lattice.from_const(1)), False, False)
+        self._bottom_scalar = ScalarValue(lattice.bottom(), False, False)
+        self._bottom_state = EnvState(bottom=True)
+        self._empty_state = EnvState()
 
     # -- scalar helpers ----------------------------------------------------------
 
     def _top_scalar(self) -> ScalarValue:
-        return ScalarValue(self.lattice.top(), True, True)
+        return self._top
 
     def _num_scalar(self, num: Any) -> ScalarValue:
         return ScalarValue(num, False, False)
 
     def _null_scalar(self) -> ScalarValue:
-        return ScalarValue(self.lattice.bottom(), True, False)
+        return self._null
 
     def _other_scalar(self) -> ScalarValue:
-        return ScalarValue(self.lattice.bottom(), False, True)
+        return self._other
 
     def _bool_scalar(self) -> ScalarValue:
-        return self._num_scalar(
-            self.lattice.join(self.lattice.from_const(0), self.lattice.from_const(1)))
+        return self._bool
 
     def _scalar_is_bottom(self, value: ScalarValue) -> bool:
-        return (self.lattice.is_bottom(value.num)
-                and not value.maybe_null and not value.maybe_other)
+        return (not value.maybe_null and not value.maybe_other
+                and self.lattice.is_bottom(value.num))
 
     def _join_scalar(self, a: ScalarValue, b: ScalarValue, widen: bool = False) -> ScalarValue:
+        if a is b and not widen:
+            return a
         combine = self.lattice.widen if widen else self.lattice.join
         return ScalarValue(combine(a.num, b.num),
                            a.maybe_null or b.maybe_null,
                            a.maybe_other or b.maybe_other)
 
     def _leq_scalar(self, a: ScalarValue, b: ScalarValue) -> bool:
+        if a is b:
+            return True
         return (self.lattice.leq(a.num, b.num)
                 and (not a.maybe_null or b.maybe_null)
                 and (not a.maybe_other or b.maybe_other))
@@ -149,12 +265,12 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
     # -- the AbstractDomain interface ----------------------------------------------
 
     def bottom(self) -> EnvState:
-        return EnvState(bottom=True)
+        return self._bottom_state
 
     def initial(self, params: Sequence[str] = ()) -> EnvState:
         # Parameters are unconstrained at entry, which is exactly the empty
         # binding map (unbound = ⊤).
-        return EnvState()
+        return self._empty_state
 
     def is_bottom(self, state: EnvState) -> bool:
         return state.bottom
@@ -166,28 +282,68 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
         return self._combine(older, newer, widen=True)
 
     def _combine(self, left: EnvState, right: EnvState, widen: bool) -> EnvState:
+        # Interned states make `join(s, s) is s` a pointer comparison.
+        if left is right:
+            return left
         if left.bottom:
             return right
         if right.bottom:
             return left
-        left_map, right_map = left.as_dict(), right.as_dict()
-        out: Dict[str, Binding] = {}
-        for name in left_map.keys() & right_map.keys():
-            combined = self._join_binding(left_map[name], right_map[name], widen)
-            if combined is not None:
-                out[name] = combined
-        return _make_state(out)
+        # Both binding tuples are sorted by name: merge with two pointers,
+        # reusing the existing (name, binding) tuples whenever the combined
+        # binding is one of the inputs, so an unchanged side costs no
+        # allocation and the result needs no re-sort.
+        left_bindings, right_bindings = left.bindings, right.bindings
+        out = []
+        i = j = 0
+        left_len, right_len = len(left_bindings), len(right_bindings)
+        while i < left_len and j < right_len:
+            left_pair = left_bindings[i]
+            right_pair = right_bindings[j]
+            left_name = left_pair[0]
+            right_name = right_pair[0]
+            if left_name == right_name:
+                left_value = left_pair[1]
+                right_value = right_pair[1]
+                if left_value is right_value and not widen:
+                    out.append(left_pair)
+                else:
+                    combined = self._join_binding(left_value, right_value, widen)
+                    if combined is not None:
+                        if combined is left_value:
+                            out.append(left_pair)
+                        elif combined is right_value:
+                            out.append(right_pair)
+                        else:
+                            out.append((left_name, combined))
+                i += 1
+                j += 1
+            elif left_name < right_name:
+                i += 1
+            else:
+                j += 1
+        if len(out) == left_len and all(
+                pair is other for pair, other in zip(out, left_bindings)):
+            return left
+        if len(out) == right_len and all(
+                pair is other for pair, other in zip(out, right_bindings)):
+            return right
+        return EnvState(tuple(out))
 
     def leq(self, left: EnvState, right: EnvState) -> bool:
+        if left is right:
+            return True
         if left.bottom:
             return True
         if right.bottom:
             return False
-        left_map = left.as_dict()
+        left_get = left.get
         for name, right_value in right.bindings:
-            left_value = left_map.get(name)
+            left_value = left_get(name)
             if left_value is None:
                 return False
+            if left_value is right_value:
+                continue
             if isinstance(right_value, ScalarValue):
                 if not isinstance(left_value, ScalarValue):
                     return False
@@ -203,14 +359,15 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
         return True
 
     def equal(self, left: EnvState, right: EnvState) -> bool:
-        return left == right
+        # Total interning makes structural equality pointer equality.
+        return left is right
 
     # -- expression evaluation --------------------------------------------------------
 
     def eval(self, expr: A.Expr, state: EnvState) -> Binding:
         """Abstractly evaluate an expression in ``state``."""
         if state.bottom:
-            return ScalarValue(self.lattice.bottom(), False, False)
+            return self._bottom_scalar
         if isinstance(expr, A.Var):
             binding = state.get(expr.name)
             return binding if binding is not None else self._top_scalar()
@@ -282,7 +439,7 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
         return self._num_scalar(operations[expr.op](left_num, right_num))
 
     def _eval_array_literal(self, expr: A.ArrayLit, state: EnvState) -> ArraySummary:
-        element = ScalarValue(self.lattice.bottom(), False, False)
+        element = self._bottom_scalar
         for item in expr.elements:
             value = self.eval(item, state)
             if isinstance(value, ScalarValue):
@@ -291,15 +448,34 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
                 element = self._top_scalar()
         return ArraySummary(self.lattice.from_const(len(expr.elements)), element)
 
+    # -- single-binding edits (sorted tuples, no dict round-trip) -----------------------
+
+    def _rebind(self, state: EnvState, name: str, value: Binding) -> EnvState:
+        """``state`` with ``name`` bound to ``value`` (O(log n) + one splice)."""
+        bindings = state.bindings
+        pos = state._index.get(name)
+        if pos is not None:
+            if bindings[pos][1] is value:
+                return state
+            return EnvState(bindings[:pos] + ((name, value),) + bindings[pos + 1:])
+        pos = bisect_left(state._keys, name)
+        return EnvState(bindings[:pos] + ((name, value),) + bindings[pos:])
+
+    def _unbind(self, state: EnvState, name: str) -> EnvState:
+        """``state`` with ``name`` dropped to ⊤ (i.e. unbound)."""
+        pos = state._index.get(name)
+        if pos is None:
+            return state
+        bindings = state.bindings
+        return EnvState(bindings[:pos] + bindings[pos + 1:])
+
     # -- transfer -----------------------------------------------------------------------
 
     def transfer(self, stmt: A.AtomicStmt, state: EnvState) -> EnvState:
         if state.bottom:
             return state
         if isinstance(stmt, A.AssignStmt):
-            bindings = state.as_dict()
-            bindings[stmt.target] = self.eval(stmt.value, state)
-            return _make_state(bindings)
+            return self._rebind(state, stmt.target, self.eval(stmt.value, state))
         if isinstance(stmt, A.AssumeStmt):
             return self._assume(stmt.cond, state)
         if isinstance(stmt, A.ArrayWriteStmt):
@@ -311,29 +487,29 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
         if isinstance(stmt, A.CallStmt):
             # Without the interprocedural engine the best sound answer is to
             # havoc the target and any array arguments' contents.
-            bindings = state.as_dict()
             if stmt.target is not None:
-                bindings.pop(stmt.target, None)
+                state = self._unbind(state, stmt.target)
             for arg in stmt.args:
-                if isinstance(arg, A.Var) and isinstance(bindings.get(arg.name), ArraySummary):
-                    summary = bindings[arg.name]
-                    bindings[arg.name] = ArraySummary(summary.length, self._top_scalar())
-            return _make_state(bindings)
+                if isinstance(arg, A.Var):
+                    summary = state.get(arg.name)
+                    if isinstance(summary, ArraySummary):
+                        state = self._rebind(state, arg.name, ArraySummary(
+                            summary.length, self._top_scalar()))
+            return state
         return state
 
     def _array_write(self, stmt: A.ArrayWriteStmt, state: EnvState) -> EnvState:
-        bindings = state.as_dict()
-        existing = bindings.get(stmt.array)
+        existing = state.get(stmt.array)
         value = self.eval(stmt.value, state)
         scalar = value if isinstance(value, ScalarValue) else self._top_scalar()
         if isinstance(existing, ArraySummary):
-            bindings[stmt.array] = ArraySummary(
-                existing.length, self._join_scalar(existing.element, scalar))
+            return self._rebind(state, stmt.array, ArraySummary(
+                existing.length, self._join_scalar(existing.element, scalar)))
         # Writing through a variable that is not known to be an array leaves
         # it unknown (⊤), which is what the absence of a binding means.
-        elif existing is not None:
-            bindings.pop(stmt.array, None)
-        return _make_state(bindings)
+        if existing is not None:
+            return self._unbind(state, stmt.array)
+        return state
 
     # -- assume refinement -----------------------------------------------------------------
 
@@ -437,9 +613,7 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
     def _rebind_checked(self, state: EnvState, name: str, value: ScalarValue) -> EnvState:
         if self._scalar_is_bottom(value):
             return self.bottom()
-        bindings = state.as_dict()
-        bindings[name] = value
-        return _make_state(bindings)
+        return self._rebind(state, name, value)
 
     # -- concretization ---------------------------------------------------------------------
 
@@ -492,20 +666,22 @@ class ValueEnvDomain(AbstractDomain[EnvState]):
     ) -> EnvState:
         if caller_state.bottom or callee_exit.bottom:
             return self.bottom()
-        bindings = caller_state.as_dict()
+        state = caller_state
         # The callee may have written through array arguments (reference
         # semantics), so weaken their element summaries.
         for arg in args:
-            if isinstance(arg, A.Var) and isinstance(bindings.get(arg.name), ArraySummary):
-                summary = bindings[arg.name]
-                bindings[arg.name] = ArraySummary(summary.length, self._top_scalar())
+            if isinstance(arg, A.Var):
+                summary = state.get(arg.name)
+                if isinstance(summary, ArraySummary):
+                    state = self._rebind(state, arg.name, ArraySummary(
+                        summary.length, self._top_scalar()))
         if target is not None:
             result = callee_exit.get(A.RETURN_VARIABLE)
             if result is None:
-                bindings.pop(target, None)
+                state = self._unbind(state, target)
             else:
-                bindings[target] = result
-        return _make_state(bindings)
+                state = self._rebind(state, target, result)
+        return state
 
     # -- client helpers -----------------------------------------------------------------------
 

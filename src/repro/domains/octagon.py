@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..concrete.state import ArrayValue, ConcreteState
+from ..intern import InternTable
 from ..lang import ast as A
 from .base import AbstractDomain
 
@@ -33,43 +34,76 @@ _INF = float("inf")
 
 
 class OctagonState:
-    """An octagon: a variable tuple plus a closed DBM (or canonical ⊥)."""
+    """An octagon: a variable tuple plus a DBM (or canonical ⊥).
 
-    __slots__ = ("variables", "matrix", "is_bottom", "_hash")
+    States are interned by ``(variables, matrix bytes)``, so structurally
+    equal octagons are the same object: equality is identity and the hash is
+    computed once at construction.  Matrices are frozen (non-writeable) on
+    interning; every mutation site works on a fresh copy.
 
-    def __init__(
-        self,
+    ``closed`` records whether the matrix is known to be strongly closed
+    (the canonical form).  Most states are — transfer and join keep states
+    closed — but widening results deliberately are not (re-closing a widened
+    DBM can defeat convergence, the standard octagon caveat), so operations
+    take fast paths only when their inputs are known-closed and fall back to
+    the full cubic closure otherwise.
+    """
+
+    __slots__ = ("variables", "matrix", "is_bottom", "closed", "_hash",
+                 "__weakref__")
+
+    _intern = InternTable("octagon.OctagonState")
+
+    def __new__(
+        cls,
         variables: Tuple[str, ...],
         matrix: Optional[np.ndarray],
         is_bottom: bool = False,
-    ) -> None:
-        self.variables = variables
-        self.matrix = matrix
-        self.is_bottom = is_bottom
-        self._hash: Optional[int] = None
+        closed: bool = False,
+    ) -> "OctagonState":
+        if is_bottom:
+            key: Any = ("octagon", "bottom")
+            matrix = None
+            closed = True
+        else:
+            assert matrix is not None
+            matrix = np.ascontiguousarray(matrix)
+            key = (variables, matrix.tobytes())
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            # ``closed`` is monotone knowledge about the same matrix: if any
+            # construction path proves closure, the canonical object keeps it.
+            if closed and not canonical.closed:
+                object.__setattr__(canonical, "closed", True)
+            return canonical
+        self = object.__new__(cls)
+        if matrix is not None:
+            matrix.flags.writeable = False
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "is_bottom", is_bottom)
+        object.__setattr__(self, "closed", closed)
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
 
-    # -- equality / hashing (canonical closed form) -----------------------------
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("OctagonState is immutable (interned)")
 
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, OctagonState):
-            return NotImplemented
-        if self.is_bottom and other.is_bottom:
-            return True
-        if self.is_bottom != other.is_bottom:
-            return False
-        if self.variables != other.variables:
-            return False
-        assert self.matrix is not None and other.matrix is not None
-        return bool(np.array_equal(self.matrix, other.matrix))
+    # -- equality / hashing: interning makes both pointer-cheap -----------------
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            if self.is_bottom:
-                self._hash = hash(("octagon", "bottom"))
-            else:
-                assert self.matrix is not None
-                self._hash = hash(("octagon", self.variables, self.matrix.tobytes()))
         return self._hash
+
+    # object.__eq__ (identity) is structural equality for interned states;
+    # semantic equality of non-closed (widened) states still goes through
+    # OctagonDomain.equal, which falls back to a double ⊑ check.
+
+    def __reduce__(self):
+        if self.is_bottom:
+            return (OctagonState, ((), None, True))
+        return (OctagonState,
+                (self.variables, np.array(self.matrix), False, self.closed))
 
     def __str__(self) -> str:
         if self.is_bottom:
@@ -100,6 +134,26 @@ class OctagonState:
         return (lo, hi)
 
 
+def _strengthen_and_check(m: np.ndarray) -> Optional[np.ndarray]:
+    """Octagonal strengthening + feasibility check of a closed DBM.
+
+    Strengthening (``m[i,j] = min(m[i,j], (m[i, i^1] + m[j^1, j]) / 2)``)
+    after a full closure yields the strongly closed canonical form.  The
+    final ``+ 0.0`` normalizes any ``-0.0`` entries to ``+0.0`` so that the
+    byte-level interning key coincides with numeric equality.
+    """
+    size = m.shape[0]
+    arange = np.arange(size)
+    bar = arange ^ 1
+    half = (m[arange, bar][:, None] + m[bar, arange][None, :]) / 2.0
+    np.minimum(m, half, out=m)
+    if np.any(np.diag(m) < 0):
+        return None
+    np.fill_diagonal(m, 0.0)
+    np.add(m, 0.0, out=m)
+    return m
+
+
 def _close(matrix: np.ndarray) -> Optional[np.ndarray]:
     """Shortest-path closure plus octagonal strengthening.
 
@@ -111,14 +165,26 @@ def _close(matrix: np.ndarray) -> Optional[np.ndarray]:
     np.fill_diagonal(m, 0.0)
     for k in range(size):
         np.minimum(m, m[:, k:k + 1] + m[k:k + 1, :], out=m)
-    # Strengthening: m[i,j] = min(m[i,j], (m[i, i^1] + m[j^1, j]) / 2)
-    bar = np.arange(size) ^ 1
-    half = (m[np.arange(size), bar][:, None] + m[bar, np.arange(size)][None, :]) / 2.0
-    np.minimum(m, half, out=m)
-    if np.any(np.diag(m) < 0):
-        return None
+    return _strengthen_and_check(m)
+
+
+def _close_incremental(
+    matrix: np.ndarray, touched: Sequence[int]
+) -> Optional[np.ndarray]:
+    """Restore strong closure after tightening entries incident to ``touched``.
+
+    If ``matrix`` was strongly closed before constraints were added, and
+    every added constraint's entries lie in rows/columns of the ``touched``
+    DBM indices, then any *new* shortest path must pass through a touched
+    vertex — so running Floyd–Warshall restricted to the touched pivots
+    restores closure in O(|touched| · n²) instead of O(n³), after which one
+    strengthening pass restores the strongly closed form as usual.
+    """
+    m = matrix.copy()
     np.fill_diagonal(m, 0.0)
-    return m
+    for k in touched:
+        np.minimum(m, m[:, k:k + 1] + m[k:k + 1, :], out=m)
+    return _strengthen_and_check(m)
 
 
 class OctagonDomain(AbstractDomain[OctagonState]):
@@ -131,7 +197,9 @@ class OctagonDomain(AbstractDomain[OctagonState]):
     def top(self, variables: Sequence[str] = ()) -> OctagonState:
         names = tuple(sorted(set(variables)))
         size = 2 * len(names)
-        return OctagonState(names, np.full((size, size), _INF), False)
+        matrix = np.full((size, size), _INF)
+        np.fill_diagonal(matrix, 0.0)
+        return OctagonState(names, matrix, False, closed=True)
 
     def bottom(self) -> OctagonState:
         return OctagonState((), None, True)
@@ -146,11 +214,37 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         closed = _close(matrix)
         if closed is None:
             return self.bottom()
-        return OctagonState(variables, closed, False)
+        return OctagonState(variables, closed, False, closed=True)
+
+    def _closed_incremental(
+        self,
+        variables: Tuple[str, ...],
+        matrix: np.ndarray,
+        touched: Sequence[int],
+        base_closed: bool,
+    ) -> OctagonState:
+        """Close ``matrix`` after constraint additions incident to ``touched``.
+
+        Uses the pivot-restricted incremental closure when the base matrix
+        was known to be strongly closed, and the full cubic closure
+        otherwise (e.g. downstream of a deliberately non-closed widening).
+        """
+        if base_closed:
+            closed = _close_incremental(matrix, touched)
+        else:
+            closed = _close(matrix)
+        if closed is None:
+            return self.bottom()
+        return OctagonState(variables, closed, False, closed=True)
 
     def _unify(
         self, left: OctagonState, right: OctagonState
     ) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray]:
+        # Fast path: identical variable universes need no expansion at all
+        # (callers never mutate the returned matrices in place).
+        if left.variables == right.variables:
+            assert left.matrix is not None and right.matrix is not None
+            return left.variables, left.matrix, right.matrix
         names = tuple(sorted(set(left.variables) | set(right.variables)))
         return names, self._expand(left, names), self._expand(right, names)
 
@@ -160,24 +254,33 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         np.fill_diagonal(out, 0.0)
         if state.matrix is None:
             return out
-        positions = []
+        position = {name: index for index, name in enumerate(names)}
+        old = np.empty(2 * len(state.variables), dtype=np.intp)
         for old_index, name in enumerate(state.variables):
-            new_index = names.index(name)
-            positions.append((2 * old_index, 2 * new_index))
-            positions.append((2 * old_index + 1, 2 * new_index + 1))
-        for old_i, new_i in positions:
-            for old_j, new_j in positions:
-                out[new_i, new_j] = state.matrix[old_i, old_j]
+            new_index = 2 * position[name]
+            old[2 * old_index] = new_index
+            old[2 * old_index + 1] = new_index + 1
+        out[np.ix_(old, old)] = state.matrix
         return out
 
     # -- lattice ---------------------------------------------------------------------
 
     def join(self, left: OctagonState, right: OctagonState) -> OctagonState:
+        if left is right:
+            return left
         if left.is_bottom:
             return right
         if right.is_bottom:
             return left
         names, a, b = self._unify(left, right)
+        if left.closed and right.closed:
+            # The pointwise max of two strongly closed DBMs is itself
+            # strongly closed (Miné), so the cubic re-closure is a no-op:
+            # skip it.  (Expansion with unconstrained fresh variables
+            # preserves strong closure, so the unified matrices still
+            # qualify; the diagonal is 0 in both inputs, so the result is
+            # feasible by construction.)
+            return OctagonState(names, np.maximum(a, b), False, closed=True)
         return self._closed(names, np.maximum(a, b))
 
     def widen(self, older: OctagonState, newer: OctagonState) -> OctagonState:
@@ -193,9 +296,11 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         # standard octagon-widening caveat).  Structural equality therefore
         # does not coincide with semantic equality for widened states, so
         # `equal` falls back to a double ⊑ check.
-        return OctagonState(names, widened, False)
+        return OctagonState(names, widened, False, closed=False)
 
     def leq(self, left: OctagonState, right: OctagonState) -> bool:
+        if left is right:
+            return True
         if left.is_bottom:
             return True
         if right.is_bottom:
@@ -204,7 +309,9 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         return bool(np.all(a <= b))
 
     def equal(self, left: OctagonState, right: OctagonState) -> bool:
-        return left == right or (self.leq(left, right) and self.leq(right, left))
+        # Interning makes structural equality identity; non-closed (widened)
+        # representations still need the semantic double ⊑ fallback.
+        return left is right or (self.leq(left, right) and self.leq(right, left))
 
     # -- linear forms -------------------------------------------------------------------
 
@@ -305,7 +412,9 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         if name in state.variables:
             return state
         names = tuple(sorted(set(state.variables) | {name}))
-        return OctagonState(names, self._expand(state, names), False)
+        # Adding an unconstrained variable preserves strong closure.
+        return OctagonState(names, self._expand(state, names), False,
+                            closed=state.closed)
 
     def _forget(self, name: str, state: OctagonState) -> OctagonState:
         state = self._with_variable(state, name)
@@ -318,7 +427,8 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         matrix[:, 2 * k + 1] = _INF
         matrix[2 * k, 2 * k] = 0.0
         matrix[2 * k + 1, 2 * k + 1] = 0.0
-        return OctagonState(state.variables, matrix, False)
+        # Forgetting (projecting out) a variable preserves strong closure.
+        return OctagonState(state.variables, matrix, False, closed=state.closed)
 
     def _assign(self, target: str, value: A.Expr, state: OctagonState) -> OctagonState:
         lo, hi = self._expr_bounds(value, state)
@@ -341,12 +451,19 @@ class OctagonDomain(AbstractDomain[OctagonState]):
             matrix[:, 2 * k + 1] += constant
             matrix[2 * k, 2 * k] = 0.0
             matrix[2 * k + 1, 2 * k + 1] = 0.0
+            if state.closed:
+                # Translating x by a constant is a bijection on the solution
+                # set that shifts entries consistently along every path, so
+                # it preserves strong closure and feasibility: no re-closure
+                # needed.
+                return OctagonState(state.variables, matrix, False, closed=True)
             return self._closed(state.variables, matrix)
 
         out = self._forget(target, state)
         assert out.matrix is not None
         matrix = out.matrix.copy()
         k = out.index(target)
+        touched = [2 * k, 2 * k + 1]
         if hi is not None:
             matrix[2 * k, 2 * k + 1] = min(matrix[2 * k, 2 * k + 1], 2 * hi)
         if lo is not None:
@@ -373,7 +490,9 @@ class OctagonDomain(AbstractDomain[OctagonState]):
                         matrix[2 * j, 2 * k + 1] = min(matrix[2 * j, 2 * k + 1], constant)
                         matrix[2 * k + 1, 2 * j] = min(matrix[2 * k + 1, 2 * j], -constant)
                         matrix[2 * j + 1, 2 * k] = min(matrix[2 * j + 1, 2 * k], -constant)
-        return self._closed(out.variables, matrix)
+        # Every constraint added above mentions the (just forgotten) target,
+        # so closure only needs to propagate through its two DBM indices.
+        return self._closed_incremental(out.variables, matrix, touched, out.closed)
 
     # -- assume ------------------------------------------------------------------------------
 
@@ -441,6 +560,10 @@ class OctagonDomain(AbstractDomain[OctagonState]):
         matrix = state.matrix.copy()
         items = sorted(coeffs.items())
         bound = float(constant)
+        touched = []
+        for name in coeffs:
+            k = state.index(name)
+            touched.extend((2 * k, 2 * k + 1))
         if len(items) == 1:
             (name, coeff), = items
             k = state.index(name)
@@ -463,7 +586,9 @@ class OctagonDomain(AbstractDomain[OctagonState]):
             else:
                 matrix[2 * i + 1, 2 * j] = min(matrix[2 * i + 1, 2 * j], bound)
                 matrix[2 * j + 1, 2 * i] = min(matrix[2 * j + 1, 2 * i], bound)
-        return self._closed(state.variables, matrix)
+        # All tightened entries are incident to the constraint's variables.
+        return self._closed_incremental(state.variables, matrix, touched,
+                                        state.closed)
 
     # -- concretization -----------------------------------------------------------------------
 
@@ -544,7 +669,8 @@ class OctagonDomain(AbstractDomain[OctagonState]):
             matrix[2 * k, 2 * k + 1] = min(matrix[2 * k, 2 * k + 1], 2.0 * hi)
         if lo is not None:
             matrix[2 * k + 1, 2 * k] = min(matrix[2 * k + 1, 2 * k], -2.0 * lo)
-        return self._closed(out.variables, matrix)
+        return self._closed_incremental(out.variables, matrix,
+                                        (2 * k, 2 * k + 1), out.closed)
 
     def variable_bounds(self, state: OctagonState, name: str) -> Tuple[Optional[int], Optional[int]]:
         """Interval bounds the octagon implies for ``name`` (client helper)."""

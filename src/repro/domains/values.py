@@ -19,8 +19,9 @@ input unchanged is always sound).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import Any, Optional, Tuple
+
+from ..intern import InternTable
 
 
 # ---------------------------------------------------------------------------
@@ -28,17 +29,49 @@ from typing import Any, Optional, Tuple
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class Interval:
     """A (possibly unbounded, possibly empty) integer interval ``[lo, hi]``.
 
     ``lo is None`` means −∞ and ``hi is None`` means +∞.  The empty interval
     is the canonical bottom element and is represented with ``empty=True``.
+
+    Intervals are interned: equal bounds yield the same object, so interval
+    equality is identity and hashing is cached.
     """
 
-    lo: Optional[int] = None
-    hi: Optional[int] = None
-    empty: bool = False
+    __slots__ = ("lo", "hi", "empty", "_hash", "__weakref__")
+
+    _intern = InternTable("values.Interval")
+
+    lo: Optional[int]
+    hi: Optional[int]
+    empty: bool
+
+    def __new__(cls, lo: Optional[int] = None, hi: Optional[int] = None,
+                empty: bool = False) -> "Interval":
+        key = (lo, hi, empty)
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        self = object.__new__(cls)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "empty", empty)
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("Interval is immutable (interned)")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Interval, (self.lo, self.hi, self.empty))
+
+    def __repr__(self) -> str:
+        return "Interval(lo=%r, hi=%r, empty=%r)" % (self.lo, self.hi, self.empty)
 
     @staticmethod
     def make(lo: Optional[int], hi: Optional[int]) -> "Interval":
@@ -462,12 +495,42 @@ class SignLattice(ValueLattice):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class Constant:
-    """A flat constant lattice element: ⊥, a single known integer, or ⊤."""
+    """A flat constant lattice element: ⊥, a single known integer, or ⊤.
+
+    Interned like :class:`Interval`: equality is identity, hashing cached.
+    """
+
+    __slots__ = ("kind", "value", "_hash", "__weakref__")
+
+    _intern = InternTable("values.Constant")
 
     kind: str  # "bottom" | "const" | "top"
-    value: int = 0
+    value: int
+
+    def __new__(cls, kind: str, value: int = 0) -> "Constant":
+        key = (kind, value)
+        table = cls._intern
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        self = object.__new__(cls)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(key))
+        return table.insert(key, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("Constant is immutable (interned)")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Constant, (self.kind, self.value))
+
+    def __repr__(self) -> str:
+        return "Constant(kind=%r, value=%r)" % (self.kind, self.value)
 
     @staticmethod
     def top() -> "Constant":

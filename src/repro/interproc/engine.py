@@ -280,7 +280,8 @@ class InterproceduralEngine:
             # current target is a stale upper bound, so the first fresh
             # contribution replaces it exactly.
             self._entry_stale.discard(key)
-            if not self.domain.equal(joined, self._entry_target[key]):
+            target = self._entry_target[key]
+            if joined is not target and not self.domain.equal(joined, target):
                 self._set_entry_target(key, joined)
             return
         current = self._entry_target[key]
@@ -318,7 +319,7 @@ class InterproceduralEngine:
             return not already_stale
         self._entry_stale.discard(key)
         current = self._entry_target[key]
-        if self.domain.equal(joined, current):
+        if joined is current or self.domain.equal(joined, current):
             return False
         self._set_entry_target(key, joined)
         return True
@@ -346,7 +347,7 @@ class InterproceduralEngine:
         if target is None:
             return
         current = self.entry_states[key]
-        if self.domain.equal(current, target):
+        if current is target or self.domain.equal(current, target):
             return
         self.engines[key].set_entry_state(target)
         self.entry_states[key] = target
@@ -380,7 +381,8 @@ class InterproceduralEngine:
         # which is what restores precision — happens only on edits.
         updated = (entry_state if previous is None
                    else self.domain.join(previous, entry_state))
-        if previous is None or not self.domain.equal(previous, updated):
+        if previous is None or (previous is not updated
+                                and not self.domain.equal(previous, updated)):
             contribs[site_id] = updated
             self._refresh_entry_target(callee_key, cause=site_id)
         if callee_key in self._active:
@@ -440,7 +442,8 @@ class InterproceduralEngine:
         """Record the summary consumers last saw; on change, dirty them."""
         previous = self._last_exit.get(key)
         self._last_exit[key] = exit_state
-        if previous is not None and not self.domain.equal(previous, exit_state):
+        if (previous is not None and previous is not exit_state
+                and not self.domain.equal(previous, exit_state)):
             self._dirty_callers_of(key[0])
 
     def _fixpoint_exit(self, key: ProcedureKey, engine: DaigEngine) -> Any:
@@ -466,8 +469,9 @@ class InterproceduralEngine:
                 # feasible after entry widening), and an exit computed
                 # against a still-moving entry — ⊥ included — must iterate,
                 # not converge.
-                entry_stable = self.domain.equal(
-                    self._entry_target[key], entry_before)
+                entry_after = self._entry_target[key]
+                entry_stable = (entry_after is entry_before
+                                or self.domain.equal(entry_after, entry_before))
                 reads = self._assumption_reads.get(key, 0) != reads_before
                 assumed = self._assumed.get(key)
                 if entry_stable and not reads:
