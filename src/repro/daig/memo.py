@@ -17,6 +17,7 @@ no program version will ever produce again.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -28,14 +29,25 @@ class MemoTable:
     default) keeps the table unbounded, matching the paper's semantics.
     Lookups refresh an entry's recency; stores beyond the capacity evict the
     least recently used entry and count it in ``evictions``.
+
+    ``thread_safe=True`` guards every operation with a reentrant lock so the
+    parallel evaluator's worker threads can read while the coordinator
+    writes (with a capacity set, even a lookup mutates recency order, so
+    readers must take the lock too).  In the default sequential mode the
+    table instead *asserts* single-writer ownership: stores must come from
+    the thread that created the table, while lookups stay assertion-free.
     """
 
     def __init__(self, enabled: bool = True,
-                 capacity: Optional[int] = None) -> None:
+                 capacity: Optional[int] = None,
+                 thread_safe: bool = False) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("memo capacity must be positive or None")
         self.enabled = enabled
         self.capacity = capacity
+        self.thread_safe = thread_safe
+        self._lock = threading.RLock() if thread_safe else None
+        self._owner = threading.get_ident()
         self._table: "OrderedDict[Tuple[Any, ...], Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -52,6 +64,12 @@ class MemoTable:
 
     def lookup(self, func: str, args: Tuple[Any, ...]) -> Tuple[bool, Any]:
         """Return ``(found, value)`` for ``f·(v1···vk)``."""
+        if self._lock is not None:
+            with self._lock:
+                return self._lookup(func, args)
+        return self._lookup(func, args)
+
+    def _lookup(self, func: str, args: Tuple[Any, ...]) -> Tuple[bool, Any]:
         if not self.enabled:
             self.misses += 1
             return False, None
@@ -72,6 +90,15 @@ class MemoTable:
         return True, value
 
     def store(self, func: str, args: Tuple[Any, ...], value: Any) -> None:
+        if self._lock is not None:
+            with self._lock:
+                self._store(func, args, value)
+            return
+        assert threading.get_ident() == self._owner, (
+            "MemoTable store off the owning thread without thread_safe=True")
+        self._store(func, args, value)
+
+    def _store(self, func: str, args: Tuple[Any, ...], value: Any) -> None:
         if not self.enabled:
             return
         key = (func,) + args
@@ -92,6 +119,14 @@ class MemoTable:
         e.g. the interprocedural engine retiring version-stamped summaries —
         so an unbounded table does not accumulate dead results.
         """
+        if self._lock is not None:
+            with self._lock:
+                return self._discard(func, args)
+        assert threading.get_ident() == self._owner, (
+            "MemoTable discard off the owning thread without thread_safe=True")
+        return self._discard(func, args)
+
+    def _discard(self, func: str, args: Tuple[Any, ...]) -> bool:
         key = self.key(func, args)
         if key is None or key not in self._table:
             return False
@@ -100,6 +135,10 @@ class MemoTable:
 
     def clear(self) -> None:
         """Drop all cached results (always sound, per Section 2.2)."""
+        if self._lock is not None:
+            with self._lock:
+                self._table.clear()
+            return
         self._table.clear()
 
     def __len__(self) -> int:

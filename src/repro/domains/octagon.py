@@ -85,7 +85,12 @@ class OctagonState:
         object.__setattr__(self, "is_bottom", is_bottom)
         object.__setattr__(self, "closed", closed)
         object.__setattr__(self, "_hash", hash(key))
-        return table.insert(key, self)
+        winner = table.insert(key, self)
+        if winner is not self and closed and not winner.closed:
+            # Lost an insertion race to an equal state: carry the monotone
+            # closure knowledge over to the surviving canonical object.
+            object.__setattr__(winner, "closed", True)
+        return winner
 
     def __setattr__(self, attr: str, value: object) -> None:
         raise AttributeError("OctagonState is immutable (interned)")
@@ -459,6 +464,14 @@ class OctagonDomain(AbstractDomain[OctagonState]):
                 return OctagonState(state.variables, matrix, False, closed=True)
             return self._closed(state.variables, matrix)
 
+        # Track every variable the right-hand side mentions *before* adding
+        # constraints: the transfer function must depend only on the state's
+        # meaning, not on which semantically-unconstrained variables happen
+        # to be in its universe (demanded and batch analyses reach the same
+        # location with different universes, and must still agree).
+        if form is not None:
+            for name in form[0]:
+                state = self._with_variable(state, name)
         out = self._forget(target, state)
         assert out.matrix is not None
         matrix = out.matrix.copy()

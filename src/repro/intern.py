@@ -24,6 +24,7 @@ the benchmark artifacts (``BENCH_domain.json``) and the CI assertions.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Dict, Hashable, List, Optional
 
@@ -41,7 +42,7 @@ class InternTable:
     never keeps an object alive by itself.
     """
 
-    __slots__ = ("name", "hits", "misses", "_table", "__weakref__")
+    __slots__ = ("name", "hits", "misses", "_table", "_lock", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -49,6 +50,12 @@ class InternTable:
         self.misses = 0
         self._table: "weakref.WeakValueDictionary[Hashable, Any]" = (
             weakref.WeakValueDictionary())
+        #: Serializes insertions so that concurrent construction of the same
+        #: value (the parallel intra-DAIG worklist, re-interning results
+        #: received from workers) yields a single canonical object.  The
+        #: ``get`` fast path stays lock-free: a miss there only costs an
+        #: extra trip through ``insert``, which re-checks under the lock.
+        self._lock = threading.Lock()
         _REGISTRY.append(self)
 
     def get(self, key: Hashable) -> Optional[Any]:
@@ -61,9 +68,19 @@ class InternTable:
         return found
 
     def insert(self, key: Hashable, value: Any) -> Any:
-        """Record ``value`` as the canonical object for ``key``."""
-        self._table[key] = value
-        return value
+        """Record ``value`` as canonical for ``key``, or return the winner.
+
+        Atomic get-or-insert: if another thread interned an equal value
+        between the caller's ``get`` miss and this call, the already-interned
+        canonical object is returned and ``value`` is discarded — so equality
+        remains identity even under concurrent construction.
+        """
+        with self._lock:
+            existing = self._table.get(key)
+            if existing is not None:
+                return existing
+            self._table[key] = value
+            return value
 
     def __len__(self) -> int:
         return len(self._table)

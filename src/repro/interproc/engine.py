@@ -137,7 +137,18 @@ class InterproceduralEngine:
             "interproc_entry_syncs": 0,
             "interproc_entry_updates": 0,
             "interproc_entry_widenings": 0,
+            # Parallel-evaluation counters: summary jobs dispatched to the
+            # worker pool and scheduler waves that carried at least one job.
+            # Both stay 0 in sequential mode (nothing here dispatches; the
+            # coordinator in :mod:`repro.parallel` increments them).
+            "interproc_parallel_jobs": 0,
+            "interproc_parallel_waves": 0,
         }
+        #: Wall-clock seconds of the parallel coordinator's phases, written
+        #: by :class:`repro.parallel.coordinator.ParallelCoordinator` and
+        #: folded into :meth:`total_phase_seconds` (all 0.0 when sequential).
+        self.parallel_phase: Dict[str, float] = {
+            "speculate": 0.0, "dispatch": 0.0, "certify": 0.0}
         entry_key = (entry, ENTRY_CONTEXT)
         initial = domain.initial(cfgs[entry].params)
         self._root_entries[entry_key] = initial
@@ -493,6 +504,98 @@ class InterproceduralEngine:
         finally:
             self._active.discard(key)
 
+    # -- parallel-coordinator hooks ----------------------------------------------------
+
+    def ensure_engine(self, name: str, context: Context,
+                      entry_state: Any) -> DaigEngine:
+        """Materialize the engine for ``(name, context)`` if absent.
+
+        The parallel coordinator uses this to pre-build the DAIGs of
+        certified summary jobs (structure only — no evaluation), so that
+        their call sites are indexed and later edits retract contributions
+        exactly as if the engines had been built on demand.
+        """
+        return self._engine_for(name, context, entry_state)
+
+    def record_call_contribution(self, caller_key: ProcedureKey, skey: SiteKey,
+                                 callee: str, context: Context,
+                                 entry_state: Any) -> None:
+        """Record one call site's entry-state contribution to a callee.
+
+        Mirrors exactly what evaluating the call cell would record
+        (:meth:`_analyze_call` without the exit demand): the parallel
+        coordinator replays certified workers' derived contributions through
+        this, so callee entry targets include the contributions of
+        procedures whose exits were served from seeded summaries and were
+        therefore never evaluated in-process.
+        """
+        callee_key = (callee, context)
+        self._engine_for(callee, context, entry_state)
+        site_id: SiteId = (caller_key, skey)
+        contribs = self._contribs.setdefault(callee_key, {})
+        previous = contribs.get(site_id)
+        updated = (entry_state if previous is None
+                   else self.domain.join(previous, entry_state))
+        if previous is None or (previous is not updated
+                                and not self.domain.equal(previous, updated)):
+            contribs[site_id] = updated
+            self._refresh_entry_target(callee_key, cause=site_id)
+
+    def seed_summary(self, name: str, context: Context,
+                     entry_state: Any, exit_state: Any) -> None:
+        """Install a precomputed exit summary for the *current* code version.
+
+        Keyed — like every summary — by the entry state, so a seed is only
+        ever consumed when demanded evaluation derives exactly this entry
+        target for ``(name, context)``; a seed at an entry that is never
+        derived is dead weight, not a soundness hazard.  Registered in the
+        per-procedure key index so version bumps purge it like any other
+        summary.
+        """
+        key = (name, context)
+        if key in self._entry_target:
+            target = self._entry_target[key]
+            if target is not entry_state and not self.domain.equal(
+                    target, entry_state):
+                # The engine has already derived a different target; a seed
+                # at this entry could not be consumed before going stale.
+                return
+        memo_args = (name, context, self._deep_version.get(name, 0),
+                     entry_state)
+        self._summary_memo.store("summary", memo_args, exit_state)
+        self._summary_keys.setdefault(name, set()).add(memo_args)
+
+    def summary_digest(self) -> str:
+        """A digest of every live (procedure, context) exit summary.
+
+        The certification check of the parallel evaluator: after identical
+        demand, a parallel-warmed engine and a purely sequential engine must
+        produce equal digests.  Every live key's exit is demanded through
+        the normal query path (so the digest itself never bypasses the
+        engine's convergence machinery), then hashed in sorted key order.
+        Equal abstract states are interned to the same object, so pickling
+        them yields identical bytes within one process.
+
+        The digest first drives :meth:`analyze_everything` to a fixpoint so
+        that a parallel-warmed engine and a purely sequential one hold the
+        same (procedure, context) key set before hashing — engine
+        construction is demand-order-dependent, exhaustive evaluation is
+        not.
+        """
+        import hashlib
+        import pickle
+
+        self.analyze_everything()
+        digest = hashlib.sha256()
+        live = self.live_keys()
+        keys = [key for key in self.engines if key in live]
+        for key in sorted(keys, key=lambda k: (k[0], repr(k[1]))):
+            name, context = key
+            exit_state = self.query(name, self.cfgs[name].exit, context)
+            digest.update(repr((name, repr(context))).encode("utf-8"))
+            digest.update(pickle.dumps(exit_state, protocol=4))
+        return digest.hexdigest()
+
     # -- queries ---------------------------------------------------------------------
 
     def query(self, procedure: str, loc: Loc, context: Context = ENTRY_CONTEXT) -> Any:
@@ -809,4 +912,6 @@ class InterproceduralEngine:
         for name in {key[0] for key in self.engines}:
             structure += self.cfgs[name].structure_seconds()
         totals["structure"] = totals.get("structure", 0.0) + structure
+        for key, value in self.parallel_phase.items():
+            totals[key] = totals.get(key, 0.0) + value
         return totals

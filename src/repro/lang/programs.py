@@ -529,6 +529,55 @@ def all_list_programs() -> Dict[str, Program]:
     return {name: list_program(name) for name in sorted(LIST_PROGRAMS)}
 
 
+def wide_call_graph_source(width: int, inner_loops: int = 3,
+                           bound: int = 40) -> str:
+    """Source of the wide-call-graph parallel-evaluation subject program.
+
+    ``main`` calls ``width`` independent loop-bearing workers, one call
+    site each, with literal arguments — the shape the SCC-wave scheduler
+    is best at: every worker lands in the same condensation wave, their
+    summary jobs share no call path, and literal arguments make entry
+    speculation exact, so all ``width`` jobs dispatch concurrently and
+    certify.  Each worker carries ``inner_loops`` *nested* loop pairs
+    with branching bodies (bounds staggered per worker): the inner fixed
+    point re-converges once per outer iterate, so demanded evaluation
+    cost grows much faster than DAIG size — exactly the regime where
+    shipping evaluation to workers pays, because the coordinator's
+    serial per-procedure cost (structure + DAIG construction) stays
+    proportional to size.  Shared by ``benchmarks/bench_parallel.py``
+    and the parallel tests.
+    """
+    parts = []
+    for i in range(width):
+        lines = ["function work%d(n) {" % i, "  var acc = n;"]
+        for j in range(inner_loops):
+            limit = bound + 7 * i + 3 * j
+            lines.append("  var j%d = 0;" % j)
+            lines.append("  while (j%d < %d) {" % (j, limit))
+            lines.append("    var k%d = 0;" % j)
+            lines.append("    while (k%d < %d) {" % (j, limit // 2 + 1))
+            lines.append("      var m%d = 0;" % j)
+            lines.append("      while (m%d < %d) {" % (j, limit // 3 + 1))
+            lines.append("        var t%d = acc + m%d;" % (j, j))
+            lines.append("        if (t%d > %d) { acc = acc - 1; }"
+                         " else { acc = acc + 2; }" % (j, limit // 2))
+            lines.append("        m%d = m%d + 1;" % (j, j))
+            lines.append("      }")
+            lines.append("      k%d = k%d + 1;" % (j, j))
+            lines.append("    }")
+            lines.append("    j%d = j%d + 1;" % (j, j))
+            lines.append("  }")
+        lines.append("  return acc;")
+        lines.append("}")
+        parts.append("\n".join(lines))
+    calls = ["  var s = 0;"]
+    for i in range(width):
+        calls.append("  var r%d = work%d(%d);" % (i, i, i))
+        calls.append("  s = s + r%d;" % i)
+    parts.append("function main() {\n%s\n  return s;\n}" % "\n".join(calls))
+    return "\n".join(parts)
+
+
 def bystander_source(bystanders: int) -> str:
     """Source of the cross-procedure edit-locality subject program.
 

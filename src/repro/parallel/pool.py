@@ -1,0 +1,168 @@
+"""A persistent worker pool for summary jobs.
+
+Process pools are expensive to start (a fresh interpreter plus the
+analysis imports per worker); a pool that lives for one analysis and dies
+is dominated by that startup cost — the prototype measured a 2.6x
+query-phase speedup wiped out to 0.04x wall-clock by cold pool creation.
+:class:`PersistentWorkerPool` therefore separates pool *lifetime* from
+analysis lifetime: create it once, :meth:`warmup` it (forcing the imports
+in every worker while nothing is waiting on them), and reuse it across
+edits, benchmarks, and analysis sessions.
+
+Backends (``kind``):
+
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`; true
+  parallelism, requires picklable jobs.  The default.
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`; cheap
+  and deterministic to start, shares the interpreter (GIL-bound), used by
+  the tests and wherever job payloads are not worth pickling.
+* ``"serial"`` — runs jobs inline on submit; the degenerate pool used to
+  isolate coordinator logic from scheduling.
+* ``"interpreter"`` — :class:`~concurrent.futures.InterpreterPoolExecutor`
+  (Python 3.13+, per-interpreter GIL).  Gated behind the
+  ``REPRO_PARALLEL_EXECUTOR=interpreter`` environment flag because the
+  backend is young; selecting it on an older interpreter raises.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional
+
+#: Environment flag that unlocks (and selects) the subinterpreter backend.
+EXECUTOR_ENV = "REPRO_PARALLEL_EXECUTOR"
+
+_KINDS = ("process", "thread", "serial", "interpreter")
+
+
+class _ImmediateFuture:
+    """The already-resolved future the serial backend returns."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, value: Any = None, error: Optional[BaseException] = None):
+        self._value = value
+        self._error = error
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+def _warmup_task(_index: int) -> int:
+    """Force the analysis imports inside a worker; returns its pid.
+
+    The short sleep keeps this worker busy long enough for the remaining
+    warmup tasks to spread to its siblings (the executor hands queued
+    items to whichever worker is free, so back-to-back instant tasks can
+    all land on the first worker while the others boot cold)."""
+    import time
+    import repro.parallel.worker  # noqa: F401  (the import is the point)
+    time.sleep(0.05)
+    return os.getpid()
+
+
+def default_kind() -> str:
+    """The pool kind selected by the environment (``process`` by default)."""
+    kind = os.environ.get(EXECUTOR_ENV, "").strip().lower()
+    return kind if kind in _KINDS else "process"
+
+
+class PersistentWorkerPool:
+    """A reusable executor with explicit warmup.
+
+    The underlying executor is created lazily on first submit (or warmup),
+    so constructing a pool is free; ``close()`` tears it down, and the pool
+    can be used as a context manager.
+    """
+
+    def __init__(self, workers: int = 2, kind: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        if kind is None:
+            kind = default_kind()
+        if kind not in _KINDS:
+            raise ValueError("unknown pool kind %r (expected one of %s)"
+                             % (kind, ", ".join(_KINDS)))
+        if kind == "interpreter":
+            if os.environ.get(EXECUTOR_ENV, "").strip().lower() != "interpreter":
+                raise ValueError(
+                    "the subinterpreter backend is experimental; set %s="
+                    "interpreter to enable it" % (EXECUTOR_ENV,))
+            import concurrent.futures
+            if not hasattr(concurrent.futures, "InterpreterPoolExecutor"):
+                raise ValueError(
+                    "InterpreterPoolExecutor needs Python 3.13+ "
+                    "(running %d.%d)" % __import__("sys").version_info[:2])
+        self.workers = workers
+        self.kind = kind
+        self._executor: Optional[Any] = None
+        self.warmed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _ensure_executor(self) -> Optional[Any]:
+        if self.kind == "serial":
+            return None
+        if self._executor is None:
+            if self.kind == "process":
+                from concurrent.futures import ProcessPoolExecutor
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            elif self.kind == "thread":
+                from concurrent.futures import ThreadPoolExecutor
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="summary-job")
+            else:  # interpreter (validated in __init__)
+                from concurrent.futures import InterpreterPoolExecutor
+                self._executor = InterpreterPoolExecutor(
+                    max_workers=self.workers)
+        return self._executor
+
+    def warmup(self) -> List[int]:
+        """Start every worker and force the analysis imports in each.
+
+        Pays the whole cold-start cost here — outside any measured or
+        latency-sensitive region — so the first real wave dispatches onto
+        already-initialized workers.  Returns the pid observed by each
+        warmup task (informational; usually one per process worker, though
+        a busy host may serve several tasks from one worker while the rest
+        finish booting).
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            self.warmed = True
+            return [os.getpid()]
+        # One task per worker slot: the pool spawns workers on demand, so
+        # submitting fewer would leave some cold.
+        futures = [executor.submit(_warmup_task, index)
+                   for index in range(self.workers)]
+        pids = [future.result() for future in futures]
+        self.warmed = True
+        return pids
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.warmed = False
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Submit a job; returns a future (resolved immediately when serial)."""
+        executor = self._ensure_executor()
+        if executor is None:
+            try:
+                return _ImmediateFuture(fn(*args))
+            except BaseException as exc:  # mirror Future.result semantics
+                return _ImmediateFuture(error=exc)
+        return executor.submit(fn, *args)

@@ -1,0 +1,200 @@
+"""The self-contained summary job a pool worker executes.
+
+A job is one ``(procedure, context, entry state)`` DAIG evaluation.  The
+payload ships everything the worker needs — the procedure's CFG (a
+listener-free copy), the entry state, the context policy and domain *by
+name* (both sides resolve them from the registry, so no code is pickled),
+and the exit summaries of the callees computed by earlier waves.
+
+The worker's call transfer mirrors the sequential engine's global-entry
+semantics: every call returns through the shipped callee summary
+unconditionally (the sequential engine likewise consults the callee's
+single entry-target summary, not a per-call-state one), while the entry
+state each site *would* contribute is recorded on the side.  The
+coordinator certifies those recorded contributions against the entries the
+summaries were actually computed at; a worker never decides correctness,
+it only reports enough evidence to check it.
+
+Interned abstract states cross the process boundary through their
+``__reduce__`` hooks, so every state in the result re-interns on receipt
+and pointer-equality keeps holding in the coordinator process.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+SummaryKey = Tuple[str, Any]  # (procedure, context)
+SiteKey = Tuple[int, int, int]  # (src, dst, index) of the call cell
+
+#: Module-level domain registry cache: resolved once per worker process.
+_DOMAINS: Optional[Dict[str, Any]] = None
+
+#: Per-process memo tables, one per domain, shared by every job the worker
+#: runs: memoization is location-independent (Section 2.2), so results
+#: carry across jobs and analysis sessions exactly as the coordinator's
+#: shared table carries across procedures — this is where a *persistent*
+#: pool pays beyond amortized startup.  Bounded, because a long-lived
+#: worker otherwise accumulates entries no future job will produce.
+_MEMOS: Dict[str, Any] = {}
+_MEMO_CAPACITY = 1 << 16
+
+
+def _domain(spec: str) -> Any:
+    global _DOMAINS
+    if _DOMAINS is None:
+        from ..domains import available_domains
+        _DOMAINS = available_domains()
+    return _DOMAINS[spec]
+
+
+def _memo(spec: str) -> Any:
+    memo = _MEMOS.get(spec)
+    if memo is None:
+        from ..daig.memo import MemoTable
+        # thread_safe: under a thread-kind pool, consecutive jobs run on
+        # different executor threads of one process but share this table.
+        memo = _MEMOS[spec] = MemoTable(capacity=_MEMO_CAPACITY,
+                                        thread_safe=True)
+    return memo
+
+
+@dataclass
+class JobPayload:
+    """Everything one summary evaluation needs, picklable."""
+
+    procedure: str
+    cfg: Any  # a listener-free Cfg copy
+    context: Any
+    entry: Any
+    policy_name: str
+    domain_spec: str
+    #: Parameter lists of every known procedure (for ``call_entry``).
+    callee_params: Dict[str, Tuple[str, ...]]
+    #: Exit summaries from earlier waves: (callee, context) -> (entry, exit).
+    summaries: Dict[SummaryKey, Tuple[Any, Any]]
+    #: Intra-DAIG worker threads (None/<=1 keeps the evaluator sequential).
+    parallel_cells: Optional[int] = None
+
+
+@dataclass
+class JobResult:
+    """What a worker reports back; all states re-intern on unpickle."""
+
+    key: SummaryKey
+    exit_state: Any = None
+    #: Per-callee-key entry contributions, by call-site cell.
+    contribs: Dict[SummaryKey, Dict[SiteKey, Any]] = field(default_factory=dict)
+    #: Callee keys some site of which re-grew its contribution after the
+    #: first recording — the sequential engine may delay-widen there, so
+    #: the coordinator must not certify those callees' speculated entries.
+    regrew: FrozenSet[SummaryKey] = frozenset()
+    #: Shipped summaries actually consumed.
+    used: FrozenSet[SummaryKey] = frozenset()
+    #: A needed callee summary was not shipped (evaluation fell back to
+    #: havoc semantics); the result is unusable for seeding.
+    incomplete: bool = False
+    duration: float = 0.0
+    #: CPU seconds of the job, immune to worker-process time-slicing: on a
+    #: host with fewer cores than workers, wall ``duration`` includes time
+    #: the worker spent descheduled while its siblings ran, so schedule
+    #: models pack ``cpu_seconds`` instead.  (Meaningful for process and
+    #: serial pools; thread pools share one process clock.)
+    cpu_seconds: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+def run_summary_job(payload: JobPayload) -> JobResult:
+    """Evaluate one (procedure, context, entry) exit summary."""
+    from ..daig.engine import DaigEngine
+    from ..intern import intern_stats
+    from ..interproc.context import policy_by_name
+    from ..lang import ast as A
+
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    result = JobResult(key=(payload.procedure, payload.context))
+    try:
+        domain = _domain(payload.domain_spec)
+        policy = policy_by_name(payload.policy_name)
+        contribs: Dict[SummaryKey, Dict[SiteKey, Any]] = {}
+        regrew: Set[SummaryKey] = set()
+        used: Set[SummaryKey] = set()
+        state_flags = {"incomplete": False}
+
+        def call_transfer(stmt: A.CallStmt, state: Any,
+                          site: Optional[Any] = None) -> Any:
+            callee = stmt.function
+            if callee not in payload.callee_params:
+                # External callee: the domain's own havoc semantics, exactly
+                # as in the sequential engine.
+                return domain.transfer(stmt, state)
+            context = policy.callee_context(
+                payload.context, (payload.procedure, stmt))
+            callee_key: SummaryKey = (callee, context)
+            entry = domain.call_entry(
+                state, payload.callee_params[callee], stmt.args)
+            skey: SiteKey = ((site.loc, site.aux, site.index)
+                             if site is not None else (-1, -1, -1))
+            sites = contribs.setdefault(callee_key, {})
+            previous = sites.get(skey)
+            if previous is None:
+                sites[skey] = entry
+            else:
+                joined = domain.join(previous, entry)
+                if joined is not previous and not domain.equal(joined, previous):
+                    # The site re-fed a strictly larger entry (loop
+                    # feedback); the sequential engine may widen here.
+                    sites[skey] = joined
+                    regrew.add(callee_key)
+            shipped = payload.summaries.get(callee_key)
+            if shipped is None:
+                # No summary for this callee was computed by earlier waves
+                # (unspeculated, recursive, or knocked out): havoc fallback
+                # keeps the evaluation running for timing purposes, but the
+                # result must not be seeded.
+                state_flags["incomplete"] = True
+                return domain.transfer(stmt, state)
+            used.add(callee_key)
+            _entry, exit_state = shipped
+            return domain.call_return(state, exit_state, stmt.target, stmt.args)
+
+        call_transfer.accepts_site = True  # type: ignore[attr-defined]
+
+        intern_before = intern_stats()
+        engine = DaigEngine(
+            payload.cfg,
+            domain,
+            memo=_memo(payload.domain_spec),
+            entry_state=payload.entry,
+            call_transfer=call_transfer,
+            parallel_cells=payload.parallel_cells,
+        )
+        try:
+            result.exit_state = engine.query_exit()
+        finally:
+            close = getattr(engine.evaluator, "close", None)
+            if close is not None:
+                close()
+        result.contribs = contribs
+        result.regrew = frozenset(regrew)
+        result.used = frozenset(used)
+        result.incomplete = state_flags["incomplete"]
+        stats: Dict[str, int] = dict(engine.stats.as_dict())
+        intern_after = intern_stats()
+        stats["intern_hits"] = sum(
+            after["hits"] - intern_before[name]["hits"]
+            for name, after in intern_after.items() if name in intern_before)
+        stats["intern_misses"] = sum(
+            after["misses"] - intern_before[name]["misses"]
+            for name, after in intern_after.items() if name in intern_before)
+        result.stats = stats
+    except Exception:
+        result.error = traceback.format_exc(limit=8)
+    result.duration = time.perf_counter() - started
+    result.cpu_seconds = time.process_time() - cpu_started
+    return result

@@ -1,0 +1,463 @@
+"""Tests for the parallel demanded evaluator: the persistent worker pool,
+the summary-job worker, the speculate/dispatch/certify coordinator, the
+intra-DAIG parallel worklist, and memo-table thread discipline.
+
+The correctness bar everywhere is *sequential equality*: a
+coordinator-warmed engine must answer every query, and digest to, exactly
+what a sequential engine produces — speculation that cannot be certified
+is thrown away, never trusted.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.daig import DaigEngine
+from repro.daig.memo import MemoTable
+from repro.daig.query import ParallelQueryEvaluator
+from repro.domains import ConstantDomain, IntervalDomain
+from repro.interproc import InterproceduralEngine, policy_by_name
+from repro.lang import build_program_cfgs, parse_program
+from repro.lang.programs import wide_call_graph_source
+from repro.parallel import (
+    JobPayload,
+    ParallelCoordinator,
+    PersistentWorkerPool,
+    run_summary_job,
+)
+from repro.workload import WorkloadGenerator
+
+COMMON_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POLICIES = ("insensitive", "1-call-site", "2-call-site")
+
+CHAIN_PROGRAM = """
+function leaf(x) {
+  return x + 1;
+}
+
+function middle(y) {
+  var m = leaf(y);
+  return m;
+}
+
+function main() {
+  var small = middle(1);
+  var big = middle(100);
+  return small + big;
+}
+"""
+
+FACT_PROGRAM = """
+function fact(n) {
+  var r = 1;
+  if (n > 1) {
+    var m = n - 1;
+    var s = fact(m);
+    r = n * s;
+  }
+  return r;
+}
+function main() { var z = fact(5); return z; }
+"""
+
+#: Two independent diamond branches: multiple transfer cells become ready
+#: at once, so the intra-DAIG evaluator actually batches.
+DIAMOND_PROGRAM = """
+function main(flag) {
+  var a = 1;
+  var b = 2;
+  var c = 3;
+  var d = 4;
+  if (flag > 0) {
+    a = a + b;
+    c = c + d;
+  } else {
+    b = b + 1;
+    d = d + 1;
+  }
+  var e = a + c;
+  var f = b + d;
+  return e + f;
+}
+"""
+
+
+def cfgs_of(source):
+    return build_program_cfgs(parse_program(source))
+
+
+def _fresh_copy(cfgs):
+    return {name: cfg.copy() for name, cfg in cfgs.items()}
+
+
+def _warmed_pair(source, domain, policy_name, pool, parallel_cells=None):
+    """(sequential engine, coordinator-warmed engine, report) on copies."""
+    cfgs = cfgs_of(source)
+    sequential = InterproceduralEngine(
+        _fresh_copy(cfgs), domain, policy_by_name(policy_name))
+    parallel = InterproceduralEngine(
+        _fresh_copy(cfgs), domain, policy_by_name(policy_name))
+    report = ParallelCoordinator(
+        parallel, pool, parallel_cells=parallel_cells).run()
+    return sequential, parallel, report
+
+
+def _assert_results_equal(domain, left, right):
+    assert set(left) == set(right)
+    for key in left:
+        assert set(left[key]) == set(right[key]), key
+        for loc, state in left[key].items():
+            assert domain.equal(state, right[key][loc]), (key, loc)
+
+
+# ---------------------------------------------------------------------------
+# PersistentWorkerPool
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_rejects_zero_workers_and_unknown_kinds(self):
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(workers=2, kind="fork-bomb")
+
+    def test_interpreter_kind_is_gated_behind_env_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_EXECUTOR", raising=False)
+        with pytest.raises(ValueError, match="experimental"):
+            PersistentWorkerPool(workers=1, kind="interpreter")
+
+    def test_default_kind_reads_environment(self, monkeypatch):
+        from repro.parallel.pool import default_kind
+        monkeypatch.delenv("REPRO_PARALLEL_EXECUTOR", raising=False)
+        assert default_kind() == "process"
+        monkeypatch.setenv("REPRO_PARALLEL_EXECUTOR", "thread")
+        assert default_kind() == "thread"
+        monkeypatch.setenv("REPRO_PARALLEL_EXECUTOR", "nonsense")
+        assert default_kind() == "process"
+
+    def test_serial_pool_runs_inline_and_propagates_errors(self):
+        with PersistentWorkerPool(workers=1, kind="serial") as pool:
+            assert pool.warmup() and pool.warmed
+            assert pool.submit(lambda x: x + 1, 41).result() == 42
+            failing = pool.submit(lambda: 1 // 0)
+            with pytest.raises(ZeroDivisionError):
+                failing.result()
+
+    def test_thread_pool_warms_and_survives_reuse(self):
+        pool = PersistentWorkerPool(workers=2, kind="thread")
+        try:
+            assert len(pool.warmup()) == 2
+            results = [pool.submit(lambda i=i: i * i).result()
+                       for i in range(8)]
+            assert results == [i * i for i in range(8)]
+        finally:
+            pool.close()
+        pool.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# run_summary_job
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryJob:
+    def _payload(self, source, procedure, domain, summaries=None):
+        cfgs = cfgs_of(source)
+        return JobPayload(
+            procedure=procedure,
+            cfg=cfgs[procedure].copy(),
+            context=(),
+            entry=domain.initial(cfgs[procedure].params),
+            policy_name="context-insensitive",
+            domain_spec=domain.name,
+            callee_params={name: tuple(cfg.params)
+                           for name, cfg in cfgs.items()},
+            summaries=dict(summaries or {}),
+        )
+
+    def test_leaf_job_matches_sequential_exit(self):
+        domain = IntervalDomain()
+        engine = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain)
+        engine.query("leaf", engine.cfgs["leaf"].exit)
+        expected = engine.analyze_everything()[("leaf", ())][
+            engine.cfgs["leaf"].exit]
+        result = run_summary_job(self._payload(CHAIN_PROGRAM, "leaf", domain))
+        assert result.error is None and not result.incomplete
+        assert domain.equal(result.exit_state, expected)
+        assert result.cpu_seconds >= 0.0 and result.duration > 0.0
+
+    def test_missing_callee_summary_marks_incomplete(self):
+        domain = IntervalDomain()
+        result = run_summary_job(
+            self._payload(CHAIN_PROGRAM, "middle", domain))
+        assert result.error is None
+        assert result.incomplete  # leaf's summary was not shipped
+        assert ("leaf", ()) in result.contribs
+        assert not result.used
+
+    def test_shipped_summary_is_consumed_and_reported_used(self):
+        domain = IntervalDomain()
+        leaf = run_summary_job(self._payload(CHAIN_PROGRAM, "leaf", domain))
+        entry = domain.initial(("x",))
+        result = run_summary_job(self._payload(
+            CHAIN_PROGRAM, "middle", domain,
+            summaries={("leaf", ()): (entry, leaf.exit_state)}))
+        assert result.error is None and not result.incomplete
+        assert result.used == frozenset({("leaf", ())})
+
+    def test_worker_failures_are_reported_not_raised(self):
+        domain = IntervalDomain()
+        payload = self._payload(CHAIN_PROGRAM, "leaf", domain)
+        payload.domain_spec = "no-such-domain"
+        result = run_summary_job(payload)
+        assert result.error is not None and "no-such-domain" in result.error
+        assert result.exit_state is None
+
+
+# ---------------------------------------------------------------------------
+# ParallelCoordinator: sequential equality, certified by digest
+# ---------------------------------------------------------------------------
+
+
+class TestCoordinator:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_warmed_engine_digests_equal_sequential(self, policy_name):
+        domain = IntervalDomain()
+        with PersistentWorkerPool(workers=2, kind="thread") as pool:
+            sequential, parallel, report = _warmed_pair(
+                wide_call_graph_source(4, inner_loops=1), domain,
+                policy_name, pool)
+            sequential.query_entry_exit()
+            parallel.query_entry_exit()
+            assert parallel.summary_digest() == sequential.summary_digest()
+            assert report["jobs"] > 0 and not report["errors"]
+            assert report["certified"] == report["jobs"]
+
+    def test_wave_shape_and_counters_on_wide_workload(self):
+        domain = IntervalDomain()
+        with PersistentWorkerPool(workers=2, kind="serial") as pool:
+            _sequential, parallel, report = _warmed_pair(
+                wide_call_graph_source(5, inner_loops=1), domain,
+                "insensitive", pool)
+        # One wave of the five independent workers, then main's wave.
+        assert report["wave_sizes"] == [5, 1]
+        assert report["jobs_per_wave"] > 1
+        assert parallel.counters["interproc_parallel_jobs"] == report["jobs"]
+        assert parallel.counters["interproc_parallel_waves"] == 2
+        # Sequential engines never touch the parallel counters.
+        fresh = InterproceduralEngine(
+            cfgs_of(CHAIN_PROGRAM), IntervalDomain())
+        fresh.query_entry_exit()
+        assert fresh.counters["interproc_parallel_jobs"] == 0
+        assert fresh.counters["interproc_parallel_waves"] == 0
+
+    def test_recursive_procedures_are_excluded_but_results_still_agree(self):
+        domain = IntervalDomain()
+        with PersistentWorkerPool(workers=2, kind="serial") as pool:
+            sequential, parallel, report = _warmed_pair(
+                FACT_PROGRAM, domain, "insensitive", pool)
+        assert "fact" in report["excluded_procedures"]
+        # main's forward cone includes the recursive callee, so nothing is
+        # dispatched — and the engine falls back to sequential evaluation.
+        sequential.query_entry_exit()
+        parallel.query_entry_exit()
+        assert parallel.summary_digest() == sequential.summary_digest()
+
+    def test_constant_domain_agrees_too(self):
+        domain = ConstantDomain()
+        with PersistentWorkerPool(workers=2, kind="serial") as pool:
+            sequential, parallel, _report = _warmed_pair(
+                CHAIN_PROGRAM, domain, "1-call-site", pool)
+        sequential.query_entry_exit()
+        parallel.query_entry_exit()
+        assert parallel.summary_digest() == sequential.summary_digest()
+
+    def test_locality_counters_unchanged_by_warming(self):
+        domain = IntervalDomain()
+        with PersistentWorkerPool(workers=2, kind="serial") as pool:
+            _sequential, parallel, _report = _warmed_pair(
+                wide_call_graph_source(4, inner_loops=1), domain,
+                "insensitive", pool)
+        parallel.query_entry_exit()
+        assert parallel.counters["interproc_callsite_scans"] == 0
+
+    def test_process_pool_round_trips_interned_states(self):
+        """One real multiprocess run: payloads pickle out, results pickle
+        back, and every received state re-interns to coordinator-process
+        canonical objects (digest equality would fail otherwise)."""
+        domain = IntervalDomain()
+        pool = PersistentWorkerPool(workers=2, kind="process")
+        try:
+            pids = pool.warmup()
+            assert len(pids) == 2
+            sequential, parallel, report = _warmed_pair(
+                wide_call_graph_source(3, inner_loops=1), domain,
+                "insensitive", pool)
+            assert not report["errors"]
+            sequential.query_entry_exit()
+            parallel.query_entry_exit()
+            assert parallel.summary_digest() == sequential.summary_digest()
+        finally:
+            pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Intra-DAIG parallel worklist
+# ---------------------------------------------------------------------------
+
+
+class TestParallelQueryEvaluator:
+    def test_rejects_nonpositive_worker_count(self):
+        cfg = cfgs_of(DIAMOND_PROGRAM)["main"]
+        with pytest.raises(ValueError):
+            DaigEngine(cfg, IntervalDomain(), parallel_cells=0)
+
+    def test_batches_independent_cells_and_matches_sequential(self):
+        domain = IntervalDomain()
+        cfgs = cfgs_of(DIAMOND_PROGRAM)
+        sequential = DaigEngine(cfgs["main"].copy(), domain)
+        parallel = DaigEngine(cfgs["main"].copy(), domain, parallel_cells=2)
+        assert isinstance(parallel.evaluator, ParallelQueryEvaluator)
+        try:
+            exit_seq = sequential.query_exit()
+            exit_par = parallel.query_exit()
+            assert domain.equal(exit_seq, exit_par)
+            seq_stats = sequential.stats.as_dict()
+            par_stats = parallel.stats.as_dict()
+            # Same semantic work, independently of scheduling.
+            for counter in ("transfers", "joins", "widens"):
+                assert par_stats[counter] == seq_stats[counter], counter
+            assert par_stats["parallel_batches"] > 0
+            assert par_stats["parallel_batch_cells"] >= (
+                2 * par_stats["parallel_batches"])
+            assert parallel.phase_seconds()["dispatch"] >= 0.0
+        finally:
+            parallel.evaluator.close()
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_random_programs_agree_with_sequential(self, seed):
+        domain = IntervalDomain()
+        generator = WorkloadGenerator(seed=seed, call_probability=0.0)
+        generator.generate(10)  # mutates generator.cfg in place
+        cfg = generator.cfg
+        sequential = DaigEngine(cfg.copy(), domain)
+        parallel = DaigEngine(cfg.copy(), domain, parallel_cells=3)
+        try:
+            assert domain.equal(sequential.query_exit(),
+                                parallel.query_exit())
+        finally:
+            parallel.evaluator.close()
+
+
+# ---------------------------------------------------------------------------
+# MemoTable thread discipline (satellite: concurrent readers, one writer)
+# ---------------------------------------------------------------------------
+
+
+class TestMemoThreading:
+    def test_sequential_table_asserts_foreign_writer(self):
+        """Regression: a sequential-mode table must loudly reject stores
+        from a thread other than its creator instead of silently racing."""
+        table = MemoTable()
+        failures = []
+
+        def foreign_store():
+            try:
+                table.store("transfer", (1,), "value")
+            except AssertionError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=foreign_store)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+        assert "thread_safe" in str(failures[0])
+        table.store("transfer", (1,), "value")  # owner still may write
+        hit, value = table.lookup("transfer", (1,))
+        assert hit and value == "value"
+
+    def test_thread_safe_table_supports_concurrent_mixed_access(self):
+        """Hammer one bounded table from several threads; the LRU order,
+        entry bound, and eviction counter must stay consistent."""
+        capacity = 64
+        table = MemoTable(capacity=capacity, thread_safe=True)
+        threads, errors = [], []
+        stores_per_thread = 200
+
+        def worker(tid):
+            try:
+                for i in range(stores_per_thread):
+                    table.store("transfer", (tid, i), tid * i)
+                    table.lookup("transfer", (tid, i))
+                    table.lookup("transfer", ((tid + 1) % 4, i))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        for tid in range(4):
+            threads.append(threading.Thread(target=worker, args=(tid,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(table) <= capacity
+        # Keys are distinct, so every store beyond the bound evicted one.
+        assert table.evictions == 4 * stores_per_thread - len(table)
+
+
+# ---------------------------------------------------------------------------
+# Property: parallel == sequential after random multi-procedure edit streams
+# ---------------------------------------------------------------------------
+
+
+def _final_cfgs(seed, recursive):
+    generator = WorkloadGenerator(seed=seed, queries_per_edit=2)
+    workload = generator.generate_multiprocedure(
+        edits=6, procedures=3, recursive=recursive)
+    cfgs = workload.fresh_cfgs()
+    for step in workload.steps:
+        step.edit.apply_to_cfg(cfgs[step.procedure])
+    return cfgs, workload
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       policy_name=st.sampled_from(POLICIES),
+       recursive=st.booleans())
+def test_parallel_warming_equals_sequential_on_random_programs(
+        seed, policy_name, recursive):
+    """On the final program of a random multi-procedure edit stream, a
+    coordinator-warmed engine answers every query site and every
+    ``analyze_everything`` state exactly like a sequential engine, and the
+    two digests agree — under all three context policies, with recursion
+    (conservatively excluded from dispatch) included."""
+    domain = IntervalDomain()
+    cfgs, workload = _final_cfgs(seed, recursive)
+    sequential = InterproceduralEngine(
+        _fresh_copy(cfgs), domain, policy_by_name(policy_name))
+    parallel = InterproceduralEngine(
+        _fresh_copy(cfgs), domain, policy_by_name(policy_name))
+    with PersistentWorkerPool(workers=2, kind="serial") as pool:
+        report = ParallelCoordinator(parallel, pool).run()
+    assert not report["errors"]
+    assert domain.equal(sequential.query_entry_exit(),
+                        parallel.query_entry_exit())
+    for step in workload.steps:
+        for procedure, loc in step.query_sites:
+            assert domain.equal(sequential.query(procedure, loc),
+                                parallel.query(procedure, loc)), (
+                procedure, loc)
+    _assert_results_equal(domain, parallel.analyze_everything(),
+                          sequential.analyze_everything())
+    assert parallel.summary_digest() == sequential.summary_digest()
