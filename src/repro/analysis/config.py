@@ -272,11 +272,17 @@ class InterproceduralConfiguration(ABC):
         domain: AbstractDomain,
         policy: Optional[ContextPolicy] = None,
         entry: str = "main",
+        store: Optional[Any] = None,
     ) -> None:
         self.cfgs = {name: cfg.copy() for name, cfg in cfgs.items()}
         self.domain = domain
         self.policy = policy
         self.entry = entry
+        #: Optional persistent summary store (a SummaryStore or a
+        #: ``"sqlite:..."``/``"blob:..."``/``"memory"`` spec string), shared
+        #: by every engine this configuration builds — this is what lets the
+        #: from-scratch configurations warm-start across rebuilds.
+        self.store = store
         self._retired_work: Dict[str, int] = {}
         self._retired_phases: Dict[str, float] = {}
         self.engine: Optional[InterproceduralEngine] = None
@@ -284,7 +290,7 @@ class InterproceduralConfiguration(ABC):
     def _build_engine(self) -> InterproceduralEngine:
         return InterproceduralEngine(
             {name: cfg.copy() for name, cfg in self.cfgs.items()},
-            self.domain, self.policy, entry=self.entry)
+            self.domain, self.policy, entry=self.entry, store=self.store)
 
     def _retire_engine_work(self) -> None:
         if self.engine is None:

@@ -52,6 +52,7 @@ class MemoTable:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stores = 0
 
     @staticmethod
     def key(func: str, args: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
@@ -106,6 +107,7 @@ class MemoTable:
             self._table[key] = value
         except TypeError:  # an unhashable input cannot be memoized
             return
+        self.stores += 1
         if self.capacity is not None:
             self._table.move_to_end(key)
             while len(self._table) > self.capacity:
@@ -149,6 +151,7 @@ class MemoTable:
             "entries": len(self._table),
             "hits": self.hits,
             "misses": self.misses,
+            "stores": self.stores,
             "evictions": self.evictions,
             "capacity": -1 if self.capacity is None else self.capacity,
         }

@@ -13,12 +13,25 @@ across procedure boundaries:
   scan at engine construction, patched per splice), so an edit to a callee
   dirties exactly the dependent call cells: no per-edit scan over any
   engine's full DAIG ref set (``interproc_callsite_scans`` stays 0).
-* **Procedure summaries** keyed by ``(procedure, context, code version,
-  entry state)`` in the shared :class:`~repro.daig.memo.MemoTable`:
+* **Procedure summaries** keyed by ``(procedure, context, deep code
+  digest, entry state)`` in the shared :class:`~repro.daig.memo.MemoTable`:
   repeated calls at a previously seen entry state reuse the memoized exit
   state without touching the callee's DAIG, and entry-state changes leave
   the callee engine untouched until a summary miss actually needs it
-  (lazy entry synchronization).
+  (lazy entry synchronization).  The digest component is
+  *content-addressed* — a per-procedure hash of the CFG composed with
+  transitive-callee digests per call-graph SCC, maintained incrementally
+  in O(dependent procedures) per edit — so memo keys are stable across
+  processes and across engines analyzing identical code.
+* An optional persistent :class:`~repro.store.SummaryStore` as a
+  **write-through second tier** behind the memo table: every memoized (or
+  certified-seeded) summary is also written to the store under the
+  content-addressed key, and a memo miss consults the store before
+  touching the callee's DAIG — a restarted engine, or a second engine on
+  the same code, warm-starts from hits (``interproc_store_hits``) and
+  performs near-zero transfers.  Corrupt or incompatible blobs degrade to
+  a miss; :meth:`collect_garbage` expires the store entries of orphaned
+  contexts so the store does not grow without bound.
 * **Recursion** via a summary fixpoint over call-graph SCCs: a recursive
   call consumes the current exit-summary assumption (⊥ initially); the
   engine iterates, widening the assumption and re-dirtying exactly the
@@ -36,7 +49,7 @@ consistent with the callee's final entry/exit summary.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..daig.edit import dirty_forward
 from ..daig.engine import DaigEngine
@@ -45,6 +58,17 @@ from ..daig.names import Name, stmt_name
 from ..domains.base import AbstractDomain
 from ..lang import ast as A
 from ..lang.cfg import Cfg, Loc
+from ..store import (
+    StoreDecodeError,
+    SummaryStore,
+    canonical_bytes,
+    cfg_digest,
+    component_digest,
+    decode_summary,
+    encode_summary,
+    open_store,
+    summary_store_key,
+)
 from .callgraph import CallGraph
 from .context import ENTRY_CONTEXT, Context, ContextInsensitive, ContextPolicy
 
@@ -74,6 +98,8 @@ class InterproceduralEngine:
         entry: str = "main",
         share_memo: bool = True,
         require_nonrecursive: bool = False,
+        store: Optional[Union[SummaryStore, str]] = None,
+        memo_capacity: Optional[int] = None,
     ) -> None:
         if entry not in cfgs:
             raise KeyError("no procedure named %r" % (entry,))
@@ -85,10 +111,16 @@ class InterproceduralEngine:
         self.callgraph = CallGraph(cfgs)
         if require_nonrecursive:
             self.callgraph.check_nonrecursive()
-        self.memo: Optional[MemoTable] = MemoTable() if share_memo else None
+        #: The persistent second tier behind the memo table (optional).  A
+        #: string is parsed as a ``"sqlite:<path>"``-style spec.
+        self.store: Optional[SummaryStore] = (
+            open_store(store) if isinstance(store, str) else store)
+        self.memo: Optional[MemoTable] = (
+            MemoTable(capacity=memo_capacity) if share_memo else None)
         #: Summary memoization always exists, even without a shared memo.
         self._summary_memo: MemoTable = (
-            self.memo if self.memo is not None else MemoTable())
+            self.memo if self.memo is not None
+            else MemoTable(capacity=memo_capacity))
         self.engines: Dict[ProcedureKey, DaigEngine] = {}
         #: The entry state each engine's DAIG currently holds.
         self.entry_states: Dict[ProcedureKey, Any] = {}
@@ -111,9 +143,18 @@ class InterproceduralEngine:
         self._site_callee: Dict[ProcedureKey, Dict[SiteKey, str]] = {}
         self._dependent_sites: Dict[str, Dict[ProcedureKey, Set[SiteKey]]] = {}
         self._proc_keys: Dict[str, List[ProcedureKey]] = {}
-        #: Per-procedure code version covering the procedure *and* its
-        #: transitive callees — the summary-staleness stamp.
-        self._deep_version: Dict[str, int] = {}
+        #: Content digests: per-procedure CFG hash, and the *deep* digest
+        #: covering the procedure and its transitive callees (shared per
+        #: call-graph SCC) — the summary-staleness stamp, stable across
+        #: processes.  Both lazily (re)computed; edits pop exactly the
+        #: O(dependent procedures) stale entries where the old integer
+        #: version bump used to happen.
+        self._code_digest: Dict[str, str] = {}
+        self._deep_digest: Dict[str, str] = {}
+        #: Store keys written/consulted per (procedure, context), so
+        #: :meth:`collect_garbage` can expire a retired context's
+        #: persistent entries (bounded store growth).
+        self._store_keys: Dict[ProcedureKey, Set[str]] = {}
         #: Memoized summary keys per procedure, so a version bump can purge
         #: the now-unreachable entries instead of leaking them in an
         #: unbounded memo table.
@@ -143,6 +184,16 @@ class InterproceduralEngine:
             # coordinator in :mod:`repro.parallel` increments them).
             "interproc_parallel_jobs": 0,
             "interproc_parallel_waves": 0,
+            # Persistent-store tier: hits/misses of the second-tier lookup
+            # (only consulted on a memo miss, so hits correspond to
+            # summaries served without touching any callee DAIG), blobs
+            # written through, entries expired by collect_garbage, and
+            # blobs that failed to decode (corruption degrades to a miss).
+            "interproc_store_hits": 0,
+            "interproc_store_misses": 0,
+            "interproc_store_writes": 0,
+            "interproc_store_expired": 0,
+            "interproc_store_errors": 0,
         }
         #: Wall-clock seconds of the parallel coordinator's phases, written
         #: by :class:`repro.parallel.coordinator.ParallelCoordinator` and
@@ -195,6 +246,63 @@ class InterproceduralEngine:
         def on_stmt_cells(removed, present) -> None:
             self._update_site_index(caller_key, removed, present)
         return on_stmt_cells
+
+    # -- content-addressed code digests ----------------------------------------------
+
+    def code_digest(self, name: str) -> str:
+        """Content hash of one procedure's CFG (statements + edges).
+
+        Cached; invalidated only for the edited procedure itself.  Stable
+        across processes and across reparses of identical source.
+        """
+        cached = self._code_digest.get(name)
+        if cached is not None:
+            return cached
+        digest = cfg_digest(self.cfgs[name])
+        self._code_digest[name] = digest
+        return digest
+
+    def deep_digest(self, name: str) -> str:
+        """Content hash of a procedure *and* its transitive callees.
+
+        The summary-staleness component of every memo/store key.  Computed
+        per call-graph SCC — every member of a recursive component shares
+        one digest composed from the members' code digests plus the deep
+        digests of the components they call into — by an explicit-stack
+        post-order walk over the condensation DAG.  Cached per procedure;
+        an edit pops exactly ``{procedure} ∪ transitive_callers`` (see
+        :meth:`_invalidate_summaries`), so recomputation after an edit is
+        O(dependent procedures), not O(program).
+        """
+        cached = self._deep_digest.get(name)
+        if cached is not None:
+            return cached
+        cg = self.callgraph
+
+        def external_callees(component) -> List[str]:
+            return sorted({callee for member in component
+                           for callee in cg.edges.get(member, ())
+                           if callee not in component})
+
+        stack: List[Tuple[str, bool]] = [(name, False)]
+        while stack:
+            proc, ready = stack.pop()
+            if proc in self._deep_digest:
+                continue
+            component = cg.scc_of(proc)
+            callees = external_callees(component)
+            if not ready:
+                stack.append((proc, True))
+                stack.extend((callee, False) for callee in callees
+                             if callee not in self._deep_digest)
+                continue
+            digest = component_digest(
+                tuple((member, self.code_digest(member))
+                      for member in sorted(component)),
+                tuple(self._deep_digest[callee] for callee in callees))
+            for member in component:
+                self._deep_digest[member] = digest
+        return self._deep_digest[name]
 
     # -- call-site dependency index --------------------------------------------------
 
@@ -412,18 +520,31 @@ class InterproceduralEngine:
     def _callee_exit(self, key: ProcedureKey) -> Any:
         """The callee's exit summary at its current target entry state.
 
-        Memoized in the shared table under ``(procedure, context, code
-        version, entry state)``; only a miss touches the callee's engine.
+        Memoized in the shared table under ``(procedure, context, deep
+        code digest, entry state)``; a memo miss consults the persistent
+        store (second tier) before touching the callee's engine, so only a
+        miss in *both* tiers evaluates the callee's DAIG.
         """
         name, context = key
         target = self._entry_target[key]
-        version = self._deep_version.get(name, 0)
-        memo_args = (name, context, version, target)
+        digest = self.deep_digest(name)
+        memo_args = (name, context, digest, target)
         found, cached = self._summary_memo.lookup("summary", memo_args)
         if found:
             self.counters["interproc_summary_hits"] += 1
             self._note_exit(key, cached)
             return cached
+        if self.store is not None:
+            stored = self._store_lookup(memo_args)
+            if stored is not None:
+                (exit_state,) = stored
+                # Install through the same path memoization uses — the
+                # callee's DAIG is never touched — but do not write the
+                # blob back (it came from the store).
+                self._install_summary(key, memo_args, exit_state,
+                                      write_store=False)
+                self._note_exit(key, exit_state)
+                return exit_state
         self.counters["interproc_summary_misses"] += 1
         engine = self.engines[key]
         self._sync_entry(key)
@@ -441,13 +562,76 @@ class InterproceduralEngine:
             # fixpoint, or feedback through a caller) may have grown it, and
             # the computed exit belongs to the *final* entry, not the one
             # this call demanded.
-            memo_args = (name, context,
-                         self._deep_version.get(name, 0),
-                         self._entry_target[key])
-            self._summary_memo.store("summary", memo_args, exit_state)
-            self._summary_keys.setdefault(name, set()).add(memo_args)
+            memo_args = (name, context, digest, self._entry_target[key])
+            self._install_summary(key, memo_args, exit_state,
+                                  write_store=True)
         self._note_exit(key, exit_state)
         return exit_state
+
+    # -- the persistent summary tier ---------------------------------------------------
+
+    def _install_summary(self, key: ProcedureKey, memo_args: Tuple,
+                         exit_state: Any, write_store: bool) -> None:
+        """Install one exit summary: memo table, per-procedure key index,
+        and (write-through) the persistent store.  Every install — normal
+        memoization, a coordinator seed, a store hit — goes through here,
+        so the tiers can never disagree about what a key means."""
+        self._summary_memo.store("summary", memo_args, exit_state)
+        self._summary_keys.setdefault(key[0], set()).add(memo_args)
+        if self.store is None:
+            return
+        name, context, digest, entry_state = memo_args
+        store_key = summary_store_key(
+            self.domain.name, name, context, digest, entry_state)
+        self._store_keys.setdefault(key, set()).add(store_key)
+        if write_store:
+            self.store.put(store_key, encode_summary(exit_state))
+            self.counters["interproc_store_writes"] += 1
+
+    def _store_lookup(self, memo_args: Tuple) -> Optional[Tuple[Any]]:
+        """Second-tier fetch; returns ``(exit_state,)`` or None on miss.
+
+        Every failure mode — absent key, backend error, corrupt or
+        version-incompatible blob — is a miss; corrupt blobs are deleted
+        so they are rewritten rather than re-fetched forever.
+        """
+        assert self.store is not None
+        name, context, digest, entry_state = memo_args
+        store_key = summary_store_key(
+            self.domain.name, name, context, digest, entry_state)
+        blob = self.store.get(store_key)
+        if blob is None:
+            self.counters["interproc_store_misses"] += 1
+            return None
+        try:
+            exit_state = decode_summary(blob)
+        except StoreDecodeError:
+            self.counters["interproc_store_errors"] += 1
+            self.counters["interproc_store_misses"] += 1
+            self.store.delete(store_key)
+            return None
+        self.counters["interproc_store_hits"] += 1
+        return (exit_state,)
+
+    def store_probe(self, name: str, context: Context,
+                    entry_state: Any) -> Optional[Any]:
+        """Probe the store for a summary at an *explicit* entry state.
+
+        The parallel coordinator's dispatch hook: a hit means the job's
+        result is already known for this exact (code, context, entry), so
+        no worker needs to run — the exit is seeded like any certified
+        result.  No memo installation happens here (that is
+        :meth:`seed_summary`'s job, after certification).
+        """
+        if self.store is None:
+            return None
+        memo_args = (name, context, self.deep_digest(name), entry_state)
+        stored = self._store_lookup(memo_args)
+        return None if stored is None else stored[0]
+
+    def store_stats(self) -> Optional[Dict[str, int]]:
+        """The attached store's counter snapshot, or None without a store."""
+        return None if self.store is None else self.store.stats()
 
     def _note_exit(self, key: ProcedureKey, exit_state: Any) -> None:
         """Record the summary consumers last saw; on change, dirty them."""
@@ -549,8 +733,9 @@ class InterproceduralEngine:
         ever consumed when demanded evaluation derives exactly this entry
         target for ``(name, context)``; a seed at an entry that is never
         derived is dead weight, not a soundness hazard.  Registered in the
-        per-procedure key index so version bumps purge it like any other
-        summary.
+        per-procedure key index so digest invalidation purges it like any
+        other summary, and written through to the persistent store
+        (certified results are exactly what warm starts want to find).
         """
         key = (name, context)
         if key in self._entry_target:
@@ -560,30 +745,32 @@ class InterproceduralEngine:
                 # The engine has already derived a different target; a seed
                 # at this entry could not be consumed before going stale.
                 return
-        memo_args = (name, context, self._deep_version.get(name, 0),
-                     entry_state)
-        self._summary_memo.store("summary", memo_args, exit_state)
-        self._summary_keys.setdefault(name, set()).add(memo_args)
+        memo_args = (name, context, self.deep_digest(name), entry_state)
+        self._install_summary(key, memo_args, exit_state, write_store=True)
 
     def summary_digest(self) -> str:
         """A digest of every live (procedure, context) exit summary.
 
-        The certification check of the parallel evaluator: after identical
-        demand, a parallel-warmed engine and a purely sequential engine must
-        produce equal digests.  Every live key's exit is demanded through
-        the normal query path (so the digest itself never bypasses the
-        engine's convergence machinery), then hashed in sorted key order.
-        Equal abstract states are interned to the same object, so pickling
-        them yields identical bytes within one process.
+        The certification check of the parallel evaluator *and* of the
+        persistent-store warm path: after identical demand, a
+        parallel-warmed (or store-warmed, or restarted) engine and a
+        purely sequential cold engine must produce equal digests.  Every
+        live key's exit is demanded through the normal query path (so the
+        digest itself never bypasses the engine's convergence machinery),
+        then hashed in sorted key order.
+
+        States are hashed through their *canonical* encoding
+        (:func:`repro.store.canonical_bytes`), not ``pickle.dumps``, so
+        digests are comparable across processes and interpreter versions —
+        pickle framing depends on memoization order and protocol details
+        that have nothing to do with the states' content.
 
         The digest first drives :meth:`analyze_everything` to a fixpoint so
-        that a parallel-warmed engine and a purely sequential one hold the
-        same (procedure, context) key set before hashing — engine
-        construction is demand-order-dependent, exhaustive evaluation is
-        not.
+        that both engines hold the same (procedure, context) key set before
+        hashing — engine construction is demand-order-dependent, exhaustive
+        evaluation is not.
         """
         import hashlib
-        import pickle
 
         self.analyze_everything()
         digest = hashlib.sha256()
@@ -592,8 +779,11 @@ class InterproceduralEngine:
         for key in sorted(keys, key=lambda k: (k[0], repr(k[1]))):
             name, context = key
             exit_state = self.query(name, self.cfgs[name].exit, context)
+            # Contexts are opaque hashables (a custom policy may ship
+            # values outside the canonical grammar); repr of the shipped
+            # policies' tuples-of-strings is deterministic everywhere.
             digest.update(repr((name, repr(context))).encode("utf-8"))
-            digest.update(pickle.dumps(exit_state, protocol=4))
+            digest.update(canonical_bytes(exit_state))
         return digest.hexdigest()
 
     # -- queries ---------------------------------------------------------------------
@@ -699,12 +889,17 @@ class InterproceduralEngine:
     def collect_garbage(self) -> int:
         """Retire engines for contexts no longer reachable (see
         :meth:`live_keys`), retracting their entry-state contributions so
-        surviving callees regain the precision of a from-scratch analysis.
+        surviving callees regain the precision of a from-scratch analysis,
+        and expiring the retired contexts' persistent-store entries so the
+        store's growth is bounded by the live key set, not by edit history.
         Returns the number of engines collected."""
         live = self.live_keys()
         dead = [key for key in self.engines if key not in live]
         for key in dead:
             engine = self.engines.pop(key)
+            for store_key in sorted(self._store_keys.pop(key, ())):
+                if self.store is not None and self.store.delete(store_key):
+                    self.counters["interproc_store_expired"] += 1
             engine.stmt_change_listener = None
             self.cfgs[key[0]].remove_structure_listener(engine._listener)
             self._proc_keys[key[0]].remove(key)
@@ -776,10 +971,10 @@ class InterproceduralEngine:
             if self.require_nonrecursive:
                 self.callgraph.check_nonrecursive()
             # Drop recursion assumptions (re-derived from scratch on the
-            # next fixpoint, for precision) and stamp the new code version
-            # onto the procedure and its transitive callers.
+            # next fixpoint, for precision) and invalidate the content
+            # digests of the procedure and its transitive callers.
             self._assumed.clear()
-            self._bump_versions(procedure)
+            self._invalidate_summaries(procedure)
             self._dirty_keys.update(keys)
             touched = self._dirty_callers_of(procedure)
             # Retract the contributions of every dirtied engine's call
@@ -787,15 +982,30 @@ class InterproceduralEngine:
             # and re-demanding re-records exactly the live ones.
             self._retract_contributions_from(set(keys) | touched)
 
-    def _bump_versions(self, procedure: str) -> None:
+    def _invalidate_summaries(self, procedure: str) -> None:
         """Invalidate summaries of ``procedure`` and its transitive callers
         (exactly the procedures whose analysis the edit can change) by
-        bumping their version stamps — O(dependent procedures).  The
-        memoized entries orphaned by each bump are purged so long edit
-        sessions do not leak dead exit states in the shared memo table."""
+        dropping their cached content digests — O(dependent procedures);
+        the digests recompute lazily on the next summary lookup, walking
+        only the invalidated region of the condensation.  The memoized
+        entries orphaned under the old digests are purged so long edit
+        sessions do not leak dead exit states in the shared memo table.
+        Persistent-store entries are deliberately *not* purged here: they
+        remain valid for any engine still running the old code (that is
+        the point of content addressing); bounded growth comes from
+        :meth:`collect_garbage`.
+
+        Correctness of the invalidation set: the callgraph is updated
+        *before* this runs, and ``transitive_callers(p)`` is unaffected by
+        changes to ``p``'s own out-edges (any path witnessing a caller of
+        ``p`` has a prefix reaching ``p`` that uses no edge out of ``p``),
+        so the set computed on the new graph covers the procedures whose
+        deep digests mention ``p`` under either version.
+        """
+        self._code_digest.pop(procedure, None)
         stale = {procedure} | self.callgraph.transitive_callers(procedure)
         for name in stale:
-            self._deep_version[name] = self._deep_version.get(name, 0) + 1
+            self._deep_digest.pop(name, None)
             for memo_args in self._summary_keys.pop(name, ()):
                 self._summary_memo.discard("summary", memo_args)
 

@@ -17,7 +17,14 @@ breaks that serialization in three phases:
    ship each wave's speculated keys to the worker pool, leaves first, so
    every job receives the exit summaries of the callees computed by
    earlier waves.  Workers evaluate full DAIGs; jobs in one wave share no
-   call path, so they run concurrently without coordination.
+   call path, so they run concurrently without coordination.  When the
+   engine has a persistent :class:`~repro.store.SummaryStore`, each key is
+   first probed there at its speculated entry — a hit short-circuits the
+   worker entirely (the stored exit becomes a ``from_store`` result,
+   certified unconditionally because entry-keyed seeds at underived
+   entries are inert) — and workers receive the store's ``(kind,
+   location)`` spec plus the deep code digests so they can consult prior
+   runs' summaries where a wave summary was not shipped.
 
 3. **Certify** — a knock-out fixpoint over the workers' evidence: a key's
    result is certified only if its job completed, every summary it
@@ -168,15 +175,34 @@ class ParallelCoordinator:
         keys_by_proc: Dict[str, List[SummaryKey]] = {}
         for key in spec_entries:
             keys_by_proc.setdefault(key[0], []).append(key)
+        store = engine.store
+        store_spec = None if store is None else store.spec()
+        deep_digests = ({} if store_spec is None else
+                        {name: engine.deep_digest(name)
+                         for name in engine.cfgs})
 
         for wave in cg.condensation_waves():
-            job_keys: List[SummaryKey] = []
+            candidates: List[SummaryKey] = []
             for component in wave:
                 if any(member in excluded for member in component):
                     continue
                 for member in sorted(component):
-                    job_keys.extend(sorted(keys_by_proc.get(member, ()),
-                                           key=lambda k: repr(k[1])))
+                    candidates.extend(sorted(keys_by_proc.get(member, ()),
+                                             key=lambda k: repr(k[1])))
+            job_keys: List[SummaryKey] = []
+            for key in candidates:
+                # Persistent-store short circuit: a prior run's summary at
+                # exactly the speculated entry means no worker needs to run
+                # for this key — the stored exit is certified like any
+                # entry-keyed seed.
+                if store is not None:
+                    stored = engine.store_probe(key[0], key[1],
+                                                spec_entries[key])
+                    if stored is not None:
+                        results[key] = JobResult(key=key, exit_state=stored,
+                                                 from_store=True)
+                        continue
+                job_keys.append(key)
             if not job_keys:
                 continue
             wave_jobs.append(job_keys)
@@ -188,12 +214,17 @@ class ParallelCoordinator:
                            for ckey in ((site[1].function,
                                          engine.policy.callee_context(
                                              context, (name, site[1]))),)}
+                # Store-served exits are deliberately *not* shipped as wave
+                # summaries: a consumer capturing one could not be
+                # re-derived from worker contributions at certification
+                # time.  Its workers fall back to their own store probe.
                 summaries = {ckey: (spec_entries[ckey],
                                     results[ckey].exit_state)
                              for ckey in callees
                              if ckey in results
                              and results[ckey].error is None
-                             and results[ckey].exit_state is not None}
+                             and results[ckey].exit_state is not None
+                             and not results[ckey].from_store}
                 payload = JobPayload(
                     procedure=name,
                     cfg=engine.cfgs[name].copy(),
@@ -204,6 +235,8 @@ class ParallelCoordinator:
                     callee_params=callee_params,
                     summaries=summaries,
                     parallel_cells=self.parallel_cells,
+                    store_spec=store_spec,
+                    deep_digests=deep_digests,
                 )
                 futures.append((key, self.pool.submit(run_summary_job, payload)))
             # Wave barrier: later waves consume these exits.
@@ -230,8 +263,11 @@ class ParallelCoordinator:
 
         certified: Set[SummaryKey] = {
             key for key, result in results.items()
-            if result.error is None and not result.incomplete
-            and result.exit_state is not None and key not in regrew_union}
+            if result.from_store
+            or (result.error is None and not result.incomplete
+                and not result.used_store
+                and result.exit_state is not None
+                and key not in regrew_union)}
 
         def joined_contribution(caller: SummaryKey,
                                 key: SummaryKey) -> Optional[Any]:
@@ -248,6 +284,13 @@ class ParallelCoordinator:
             surviving: Set[SummaryKey] = set()
             for key in certified:
                 result = results[key]
+                if result.from_store:
+                    # A stored summary is keyed by its entry: it is
+                    # consumed only if demanded evaluation derives exactly
+                    # that entry, so it needs no caller/consumer evidence.
+                    # (seed_summary re-checks the live target on install.)
+                    surviving.add(key)
+                    continue
                 if not result.used <= certified:
                     continue  # consumed an uncertified summary
                 callers = spec_callers.get(key, set())
@@ -358,6 +401,8 @@ class ParallelCoordinator:
         cpu_durations: Dict[str, float] = {}
         errors: Dict[str, str] = {}
         incomplete = 0
+        store_served = 0
+        store_assisted = 0
         for key, result in sorted(results.items(), key=lambda kv: repr(kv[0])):
             durations[repr(key)] = result.duration
             cpu_durations[repr(key)] = result.cpu_seconds
@@ -365,6 +410,10 @@ class ParallelCoordinator:
                 errors[repr(key)] = result.error
             if result.incomplete:
                 incomplete += 1
+            if result.from_store:
+                store_served += 1
+            if result.used_store:
+                store_assisted += 1
             for stat, value in result.stats.items():
                 worker_stats[stat] = worker_stats.get(stat, 0) + value
 
@@ -379,6 +428,11 @@ class ParallelCoordinator:
             "certified": len(certified),
             "knocked_out": len(results) - len(certified),
             "incomplete": incomplete,
+            # Keys answered straight from the persistent store (no worker
+            # ran) and worker jobs that consumed at least one stored
+            # summary in place of a havoc fallback.
+            "store_served": store_served,
+            "store_assisted": store_assisted,
             "errors": errors,
             "durations": durations,
             "cpu_durations": cpu_durations,

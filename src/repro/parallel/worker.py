@@ -42,6 +42,11 @@ _DOMAINS: Optional[Dict[str, Any]] = None
 _MEMOS: Dict[str, Any] = {}
 _MEMO_CAPACITY = 1 << 16
 
+#: Per-process persistent-store handles, keyed by (kind, location) spec:
+#: a worker reopens the coordinator's store once and keeps the connection
+#: across jobs (sqlite/blob backends are multi-process safe).
+_STORES: Dict[Tuple[str, str], Any] = {}
+
 
 def _domain(spec: str) -> Any:
     global _DOMAINS
@@ -62,6 +67,20 @@ def _memo(spec: str) -> Any:
     return memo
 
 
+def _store(spec: Optional[Tuple[str, str]]) -> Any:
+    if spec is None:
+        return None
+    handle = _STORES.get(spec)
+    if handle is None:
+        try:
+            from ..store import store_from_spec
+            handle = _STORES[spec] = store_from_spec(*spec)
+        except Exception:
+            _STORES[spec] = None  # cache the failure: the store is optional
+            return None
+    return handle
+
+
 @dataclass
 class JobPayload:
     """Everything one summary evaluation needs, picklable."""
@@ -78,6 +97,13 @@ class JobPayload:
     summaries: Dict[SummaryKey, Tuple[Any, Any]]
     #: Intra-DAIG worker threads (None/<=1 keeps the evaluator sequential).
     parallel_cells: Optional[int] = None
+    #: The coordinator's persistent summary store, as a reopenable
+    #: ``(kind, location)`` spec (None when no store is attached or the
+    #: store has no cross-process identity).
+    store_spec: Optional[Tuple[str, str]] = None
+    #: Deep code digests of every known procedure, so a worker can compute
+    #: the same content-addressed store keys the engines do.
+    deep_digests: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -97,6 +123,19 @@ class JobResult:
     #: A needed callee summary was not shipped (evaluation fell back to
     #: havoc semantics); the result is unusable for seeding.
     incomplete: bool = False
+    #: Callee summaries served from the persistent store instead of a
+    #: shipped wave result.  Store-served exits are sound for the entry
+    #: they were fetched at, but their consistency with this dispatch's
+    #: speculated entries is unverified, so the coordinator treats the
+    #: result like an incomplete one (not seedable) — the win is that the
+    #: evaluation proceeds with real summaries instead of havoc.
+    used_store: FrozenSet[SummaryKey] = frozenset()
+    #: The coordinator answered this key entirely from the persistent
+    #: store: no worker ran, the exit is the stored summary at the
+    #: speculated entry, and certification accepts it unconditionally
+    #: (entry-keyed seeds at underived entries are dead weight, never
+    #: soundness hazards).
+    from_store: bool = False
     duration: float = 0.0
     #: CPU seconds of the job, immune to worker-process time-slicing: on a
     #: host with fewer cores than workers, wall ``duration`` includes time
@@ -124,7 +163,32 @@ def run_summary_job(payload: JobPayload) -> JobResult:
         contribs: Dict[SummaryKey, Dict[SiteKey, Any]] = {}
         regrew: Set[SummaryKey] = set()
         used: Set[SummaryKey] = set()
+        used_store: Set[SummaryKey] = set()
         state_flags = {"incomplete": False}
+        store = _store(payload.store_spec)
+
+        def store_exit(callee_key: SummaryKey, entry: Any) -> Optional[Any]:
+            """A stored summary for ``callee_key`` at this site's entry,
+            or None.  Best effort: the store keys summaries by the
+            callee's *joined* entry target, so a hit needs this site to be
+            the callee's only (or dominant) caller — exactly the wide
+            fan-out shape wave scheduling dispatches."""
+            if store is None:
+                return None
+            digest = payload.deep_digests.get(callee_key[0])
+            if digest is None:
+                return None
+            from ..store import (StoreDecodeError, decode_summary,
+                                 summary_store_key)
+            blob = store.get(summary_store_key(
+                payload.domain_spec, callee_key[0], callee_key[1],
+                digest, entry))
+            if blob is None:
+                return None
+            try:
+                return decode_summary(blob)
+            except StoreDecodeError:
+                return None
 
         def call_transfer(stmt: A.CallStmt, state: Any,
                           site: Optional[Any] = None) -> Any:
@@ -154,9 +218,16 @@ def run_summary_job(payload: JobPayload) -> JobResult:
             shipped = payload.summaries.get(callee_key)
             if shipped is None:
                 # No summary for this callee was computed by earlier waves
-                # (unspeculated, recursive, or knocked out): havoc fallback
-                # keeps the evaluation running for timing purposes, but the
-                # result must not be seeded.
+                # (unspeculated, recursive, or knocked out): consult the
+                # persistent store before giving up — a prior run may have
+                # the summary at exactly this entry.  Otherwise the havoc
+                # fallback keeps the evaluation running for timing
+                # purposes, but the result must not be seeded.
+                stored = store_exit(callee_key, entry)
+                if stored is not None:
+                    used_store.add(callee_key)
+                    return domain.call_return(
+                        state, stored, stmt.target, stmt.args)
                 state_flags["incomplete"] = True
                 return domain.transfer(stmt, state)
             used.add(callee_key)
@@ -183,6 +254,7 @@ def run_summary_job(payload: JobPayload) -> JobResult:
         result.contribs = contribs
         result.regrew = frozenset(regrew)
         result.used = frozenset(used)
+        result.used_store = frozenset(used_store)
         result.incomplete = state_flags["incomplete"]
         stats: Dict[str, int] = dict(engine.stats.as_dict())
         intern_after = intern_stats()

@@ -1,0 +1,54 @@
+"""Persistent content-addressed summary storage (ROADMAP item 3).
+
+Exit summaries are keyed by ``(procedure, context, deep code digest,
+entry state)`` — every component content-addressed and process-independent
+— and persisted through a pluggable :class:`SummaryStore` (in-memory /
+sqlite / directory-of-blobs), so a restarted engine, a second engine on
+the same code, or a pool worker starts from hits instead of recomputing.
+"""
+
+from .base import (
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    StoreDecodeError,
+    SummaryStore,
+    decode_summary,
+    encode_summary,
+)
+from .backends import (
+    STORE_ENV_VAR,
+    BlobSummaryStore,
+    InMemorySummaryStore,
+    SqliteSummaryStore,
+    open_store,
+    store_from_env,
+    store_from_spec,
+)
+from .canonical import (
+    canonical_bytes,
+    canonical_digest,
+    cfg_digest,
+    component_digest,
+    summary_store_key,
+)
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "STORE_FORMAT_VERSION",
+    "STORE_MAGIC",
+    "BlobSummaryStore",
+    "InMemorySummaryStore",
+    "SqliteSummaryStore",
+    "StoreDecodeError",
+    "SummaryStore",
+    "canonical_bytes",
+    "canonical_digest",
+    "cfg_digest",
+    "component_digest",
+    "decode_summary",
+    "encode_summary",
+    "open_store",
+    "store_from_env",
+    "store_from_spec",
+    "summary_store_key",
+]

@@ -1,0 +1,241 @@
+"""The three :class:`~repro.store.base.SummaryStore` backends.
+
+* :class:`InMemorySummaryStore` — a dict; per-process, mostly for tests
+  and for bounding the memo table (evicted entries stay recoverable).
+* :class:`SqliteSummaryStore` — one stdlib ``sqlite3`` table; the default
+  persistent backend (single file, transactional, safe under concurrent
+  readers).
+* :class:`BlobSummaryStore` — a sharded directory of blob files with
+  atomic tmp-then-rename writes; trivially rsync/NFS-shareable, the
+  fleet-cache shape (cf. content-addressed build caches).
+
+Selection helpers parse ``"memory"`` / ``"sqlite:<path>"`` /
+``"blob:<dir>"`` specs, including from the ``REPRO_SUMMARY_STORE``
+environment variable, and reopen a store from the picklable
+``(kind, location)`` pair workers receive.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .base import SummaryStore
+
+#: Environment variable naming the store every engine should open when the
+#: caller passes ``store="env"`` (benchmarks, CI, ad-hoc warm starts).
+STORE_ENV_VAR = "REPRO_SUMMARY_STORE"
+
+
+class InMemorySummaryStore(SummaryStore):
+    """A per-process dict store (no cross-process identity)."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table: Dict[str, bytes] = {}
+
+    def _get(self, key: str) -> Optional[bytes]:
+        return self._table.get(key)
+
+    def _put(self, key: str, blob: bytes) -> None:
+        self._table[key] = bytes(blob)
+
+    def _delete(self, key: str) -> bool:
+        return self._table.pop(key, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def keys(self) -> List[str]:
+        return sorted(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+class SqliteSummaryStore(SummaryStore):
+    """One ``summaries(key TEXT PRIMARY KEY, blob BLOB)`` table.
+
+    Autocommit mode (``isolation_level=None``) so every put is immediately
+    visible to other connections — a restarted engine or a pool worker
+    opens its own connection on the same path.  ``check_same_thread=False``
+    because the parallel evaluator's threads may probe while the demanding
+    thread writes (the base class serializes access under one lock).
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False,
+                                     isolation_level=None)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS summaries ("
+            "key TEXT PRIMARY KEY, blob BLOB NOT NULL)")
+
+    def _get(self, key: str) -> Optional[bytes]:
+        row = self._conn.execute(
+            "SELECT blob FROM summaries WHERE key = ?", (key,)).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def _put(self, key: str, blob: bytes) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO summaries (key, blob) VALUES (?, ?)",
+            (key, sqlite3.Binary(bytes(blob))))
+
+    def _delete(self, key: str) -> bool:
+        cursor = self._conn.execute(
+            "DELETE FROM summaries WHERE key = ?", (key,))
+        return cursor.rowcount > 0
+
+    def __len__(self) -> int:
+        try:
+            row = self._conn.execute("SELECT COUNT(*) FROM summaries").fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(row[0])
+
+    def keys(self) -> List[str]:
+        try:
+            rows = self._conn.execute(
+                "SELECT key FROM summaries ORDER BY key").fetchall()
+        except sqlite3.Error:
+            return []
+        return [row[0] for row in rows]
+
+    def clear(self) -> None:
+        try:
+            self._conn.execute("DELETE FROM summaries")
+        except sqlite3.Error:
+            pass
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except sqlite3.Error:
+            pass
+
+    def spec(self) -> Tuple[str, str]:
+        return ("sqlite", self.path)
+
+
+class BlobSummaryStore(SummaryStore):
+    """A directory of blob files, sharded by the key's first two hex chars.
+
+    Writes go through a temporary file in the same directory followed by
+    ``os.replace``, so concurrent readers (other engines, pool workers)
+    never observe a torn blob — at worst a stale or missing one, which is
+    a miss.
+    """
+
+    kind = "blob"
+    _SUFFIX = ".blob"
+
+    def __init__(self, root: str) -> None:
+        super().__init__()
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        # Keys are hex digests; refuse anything that could escape the root.
+        if not key or not all(ch.isalnum() or ch in "-_" for ch in key):
+            raise ValueError("malformed store key %r" % (key,))
+        shard = key[:2] if len(key) > 2 else "00"
+        return os.path.join(self.root, shard, key + self._SUFFIX)
+
+    def _get(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except (OSError, ValueError):
+            return None
+
+    def _put(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(bytes(blob))
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _delete(self, key: str) -> bool:
+        try:
+            os.unlink(self._path(key))
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> List[str]:
+        found: List[str] = []
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return found
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            found.extend(name[:-len(self._SUFFIX)] for name in names
+                         if name.endswith(self._SUFFIX))
+        return found
+
+    def clear(self) -> None:
+        for key in self.keys():
+            self._delete(key)
+
+    def spec(self) -> Tuple[str, str]:
+        return ("blob", self.root)
+
+
+def store_from_spec(kind: str, location: str = "") -> SummaryStore:
+    """Open a store from the picklable ``(kind, location)`` pair."""
+    if kind == "memory":
+        return InMemorySummaryStore()
+    if kind == "sqlite":
+        return SqliteSummaryStore(location)
+    if kind == "blob":
+        return BlobSummaryStore(location)
+    raise ValueError("unknown summary-store kind %r" % (kind,))
+
+
+def open_store(spec: str) -> SummaryStore:
+    """Parse a ``"memory"`` / ``"sqlite:<path>"`` / ``"blob:<dir>"`` spec."""
+    kind, _sep, location = spec.partition(":")
+    kind = kind.strip()
+    if kind == "memory":
+        return InMemorySummaryStore()
+    if kind in ("sqlite", "blob"):
+        if not location:
+            raise ValueError("store spec %r needs a location" % (spec,))
+        return store_from_spec(kind, location)
+    raise ValueError("unknown summary-store spec %r" % (spec,))
+
+
+def store_from_env(default: Optional[str] = None) -> Optional[SummaryStore]:
+    """Open the store named by ``REPRO_SUMMARY_STORE``, if any."""
+    spec = os.environ.get(STORE_ENV_VAR, default)
+    if not spec:
+        return None
+    return open_store(spec)

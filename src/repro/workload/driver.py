@@ -113,6 +113,16 @@ def run_interproc_trial(
         if progress is not None:
             progress(step.index, elapsed)
     result.work = configuration.work_stats()
+    # Persistent-store tier (if the configuration's engine carries one):
+    # fold the backend's own counters in under a stable prefix, so
+    # warm-start experiments can read hit rates and occupancy from the
+    # same artifact as every other work counter.
+    engine = getattr(configuration, "engine", None)
+    store_stats = engine.store_stats() if engine is not None else None
+    if store_stats is not None:
+        for stat, value in store_stats.items():
+            if isinstance(value, int):
+                result.work["summary_store_" + stat] = value
     result.phases = configuration.phase_stats()
     return result
 

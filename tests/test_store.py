@@ -1,0 +1,530 @@
+"""Tests for the persistent content-addressed summary store.
+
+Three layers:
+
+* the store backends themselves (round trips, corruption tolerance, the
+  wire format header);
+* the content digests (restart/binding-order/no-op invariance, change
+  exactly when the procedure or a transitive callee changes, stability
+  across real child processes);
+* the engine integration (warm starts equal cold runs under every policy,
+  LRU eviction recovers through the store, garbage collection expires the
+  store entries of orphaned contexts).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.domains import IntervalDomain
+from repro.interproc import InterproceduralEngine, policy_by_name
+from repro.lang import ast as A
+from repro.lang import build_program_cfgs, parse_program
+from repro.store import (
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    BlobSummaryStore,
+    InMemorySummaryStore,
+    SqliteSummaryStore,
+    StoreDecodeError,
+    canonical_bytes,
+    cfg_digest,
+    decode_summary,
+    encode_summary,
+    open_store,
+    store_from_env,
+    store_from_spec,
+    summary_store_key,
+)
+from repro.workload import WorkloadGenerator
+
+COMMON_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+POLICIES = ("insensitive", "1-call-site", "2-call-site")
+
+CHAIN_PROGRAM = """
+function leaf(x) {
+  return x + 1;
+}
+
+function middle(y) {
+  var m = leaf(y);
+  return m;
+}
+
+function main() {
+  var small = middle(1);
+  var big = middle(100);
+  return small + big;
+}
+"""
+
+DIAMOND_PROGRAM = """
+function leaf(x) { return x + 1; }
+function left(y) { var l = leaf(y); return l; }
+function right(z) { var r = leaf(z); return r + 10; }
+function main() { var a = left(1); var b = right(2); return a + b; }
+"""
+
+EVEN_ODD_PROGRAM = """
+function even(n) { var r = 1; if (n > 0) { var m = n - 1; r = odd(m); } return r; }
+function odd(n) { var r = 0; if (n > 0) { var m = n - 1; r = even(m); } return r; }
+function main() { var z = even(6); return z; }
+"""
+
+
+def cfgs_of(source):
+    return build_program_cfgs(parse_program(source))
+
+
+def _fresh_copy(cfgs):
+    return {name: cfg.copy() for name, cfg in cfgs.items()}
+
+
+def _noise(pe):
+    pe.insert_statement_after(pe.cfg.entry, A.AssignStmt("noise", A.IntLit(1)))
+
+
+def _make_store(kind, tmp_path, tag=""):
+    if kind == "memory":
+        return InMemorySummaryStore()
+    if kind == "sqlite":
+        return SqliteSummaryStore(str(tmp_path / ("s%s.db" % tag)))
+    return BlobSummaryStore(str(tmp_path / ("blobs%s" % tag)))
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "blob"])
+class TestBackends:
+    def test_round_trip_and_delete(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
+        assert store.get("missing") is None
+        store.put("k1", b"abc")
+        store.put("k2", b"def")
+        assert store.get("k1") == b"abc"
+        assert len(store) == 2
+        assert sorted(store.keys()) == ["k1", "k2"]
+        store.put("k1", b"xyz")  # overwrite, not duplicate
+        assert store.get("k1") == b"xyz"
+        assert len(store) == 2
+        assert store.delete("k1") is True
+        assert store.delete("k1") is False
+        assert store.get("k1") is None
+        store.clear()
+        assert len(store) == 0
+        stats = store.stats()
+        assert stats["kind"] == kind
+        assert stats["hits"] == 2 and stats["puts"] == 3
+
+    def test_persistence_across_handles(self, kind, tmp_path):
+        store = _make_store(kind, tmp_path)
+        store.put("key", b"payload")
+        spec = store.spec()
+        store.close()
+        if kind == "memory":
+            assert spec is None  # no cross-process identity
+            return
+        reopened = store_from_spec(*spec)
+        assert reopened.get("key") == b"payload"
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+class TestWireFormat:
+    def test_encode_decode_reinterns(self):
+        domain = IntervalDomain()
+        state = domain.initial(["x", "y"])
+        blob = encode_summary(state)
+        assert blob.startswith(STORE_MAGIC)
+        assert blob[len(STORE_MAGIC)] == STORE_FORMAT_VERSION
+        # Interned states re-intern on decode: identity, not just equality.
+        assert decode_summary(blob) is state
+
+    @pytest.mark.parametrize("blob", [
+        b"",
+        b"RP",
+        b"XXXX" + bytes((STORE_FORMAT_VERSION,)) + b"junk",
+        STORE_MAGIC + bytes((99,)) + b"future-version",
+        STORE_MAGIC + bytes((STORE_FORMAT_VERSION,)) + b"not-a-pickle",
+    ])
+    def test_bad_blobs_raise_decode_error(self, blob):
+        with pytest.raises(StoreDecodeError):
+            decode_summary(blob)
+
+    def test_open_store_specs(self, tmp_path):
+        assert open_store("memory").kind == "memory"
+        assert open_store("sqlite:%s" % (tmp_path / "a.db")).kind == "sqlite"
+        assert open_store("blob:%s" % (tmp_path / "b")).kind == "blob"
+        with pytest.raises(ValueError):
+            open_store("carrier-pigeon:nowhere")
+
+    def test_store_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SUMMARY_STORE", raising=False)
+        assert store_from_env() is None
+        monkeypatch.setenv("REPRO_SUMMARY_STORE",
+                           "sqlite:%s" % (tmp_path / "env.db"))
+        assert store_from_env().kind == "sqlite"
+
+
+# ---------------------------------------------------------------------------
+# Content digests
+# ---------------------------------------------------------------------------
+
+
+class TestDigests:
+    def test_restart_invariance(self):
+        one = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), IntervalDomain())
+        two = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), IntervalDomain())
+        for name in one.cfgs:
+            assert one.code_digest(name) == two.code_digest(name)
+            assert one.deep_digest(name) == two.deep_digest(name)
+
+    def test_binding_order_invariance(self):
+        cfgs = cfgs_of(CHAIN_PROGRAM)
+        reversed_cfgs = dict(reversed(list(cfgs.items())))
+        one = InterproceduralEngine(_fresh_copy(cfgs), IntervalDomain())
+        two = InterproceduralEngine(_fresh_copy(reversed_cfgs),
+                                    IntervalDomain())
+        for name in cfgs:
+            assert one.deep_digest(name) == two.deep_digest(name)
+
+    def test_noop_edit_keeps_digests(self):
+        engine = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM),
+                                       IntervalDomain())
+        before = {name: engine.deep_digest(name) for name in engine.cfgs}
+
+        def replace_with_same(pe):
+            edge = next(e for e in pe.find_edges()
+                        if isinstance(e.stmt, A.AssignStmt))
+            pe.replace_statement(edge, edge.stmt)
+
+        engine.edit_procedure("leaf", replace_with_same)
+        after = {name: engine.deep_digest(name) for name in engine.cfgs}
+        assert before == after
+
+    def test_digest_changes_iff_procedure_or_callee_changes(self):
+        engine = InterproceduralEngine(cfgs_of(DIAMOND_PROGRAM),
+                                       IntervalDomain())
+        before_deep = {name: engine.deep_digest(name) for name in engine.cfgs}
+        before_code = {name: engine.code_digest(name) for name in engine.cfgs}
+        engine.edit_procedure("leaf", _noise)
+        after_deep = {name: engine.deep_digest(name) for name in engine.cfgs}
+        after_code = {name: engine.code_digest(name) for name in engine.cfgs}
+        # The edited procedure's own code digest moved; nobody else's did.
+        assert after_code["leaf"] != before_code["leaf"]
+        for name in ("left", "right", "main"):
+            assert after_code[name] == before_code[name], name
+        # Deep digests moved for the procedure and every transitive caller.
+        for name in ("leaf", "left", "right", "main"):
+            assert after_deep[name] != before_deep[name], name
+
+        # Editing a *caller* leaves the callee's deep digest alone.
+        before_deep = after_deep
+        engine.edit_procedure("left", _noise)
+        assert engine.deep_digest("leaf") == before_deep["leaf"]
+        assert engine.deep_digest("right") == before_deep["right"]
+        assert engine.deep_digest("left") != before_deep["left"]
+        assert engine.deep_digest("main") != before_deep["main"]
+
+    def test_recursive_component_shares_one_digest(self):
+        engine = InterproceduralEngine(cfgs_of(EVEN_ODD_PROGRAM),
+                                       IntervalDomain())
+        assert engine.deep_digest("even") == engine.deep_digest("odd")
+        assert engine.deep_digest("even") != engine.deep_digest("main")
+        before = engine.deep_digest("even")
+        engine.edit_procedure("odd", _noise)
+        assert engine.deep_digest("even") == engine.deep_digest("odd")
+        assert engine.deep_digest("even") != before
+
+    def test_digest_survives_a_real_child_process(self):
+        """Content addressing only works if a different interpreter process
+        computes the very same digests for the very same source."""
+        child_script = (
+            "import sys\n"
+            "from repro.lang import build_program_cfgs, parse_program\n"
+            "from repro.domains import IntervalDomain\n"
+            "from repro.interproc import InterproceduralEngine\n"
+            "source = sys.stdin.read()\n"
+            "engine = InterproceduralEngine(\n"
+            "    build_program_cfgs(parse_program(source)), IntervalDomain())\n"
+            "for name in sorted(engine.cfgs):\n"
+            "    print(name, engine.deep_digest(name))\n"
+        )
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src_dir, env.get("PYTHONPATH")) if part)
+        completed = subprocess.run(
+            [sys.executable, "-c", child_script],
+            input=CHAIN_PROGRAM.encode(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, env=env, check=False)
+        assert completed.returncode == 0, completed.stderr.decode()
+        child = dict(line.split() for line in
+                     completed.stdout.decode().splitlines())
+        engine = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM),
+                                       IntervalDomain())
+        assert child == {name: engine.deep_digest(name)
+                         for name in engine.cfgs}
+
+    def test_store_key_depends_on_every_component(self):
+        domain = IntervalDomain()
+        entry = domain.initial(["x"])
+        base = summary_store_key("interval", "f", (), "d1", entry)
+        assert base != summary_store_key("octagon", "f", (), "d1", entry)
+        assert base != summary_store_key("interval", "g", (), "d1", entry)
+        assert base != summary_store_key("interval", "f", ("s",), "d1", entry)
+        assert base != summary_store_key("interval", "f", (), "d2", entry)
+        other = domain.bottom()
+        assert not domain.equal(entry, other)
+        assert base != summary_store_key("interval", "f", (), "d1", other)
+        # And is reproducible.
+        assert base == summary_store_key("interval", "f", (), "d1", entry)
+
+    def test_canonical_bytes_rejects_unknown_types(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError):
+            canonical_bytes(Mystery())
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: warm starts
+# ---------------------------------------------------------------------------
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_warm_engine_equals_cold_engine(self, policy_name, tmp_path):
+        domain = IntervalDomain()
+        store = _make_store("sqlite", tmp_path)
+        cold = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                     policy_by_name(policy_name), store=store)
+        cold_digest = cold.summary_digest()
+        assert cold.counters["interproc_store_writes"] > 0
+
+        warm = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                     policy_by_name(policy_name),
+                                     store=store_from_spec(*store.spec()))
+        warm.query_entry_exit()
+        assert warm.counters["interproc_summary_misses"] == 0
+        assert warm.counters["interproc_store_hits"] > 0
+        assert warm.counters["interproc_store_writes"] == 0
+        assert warm.summary_digest() == cold_digest
+
+    def test_recursive_program_warm_digest_equality(self, tmp_path):
+        """Recursion re-runs its summary fixpoint on a warm start (cold
+        runs only memoize the post-fixpoint entry), but the *results* must
+        still be digest-equal — the warm win degrades, soundness does not."""
+        domain = IntervalDomain()
+        store = _make_store("sqlite", tmp_path)
+        cold = InterproceduralEngine(cfgs_of(EVEN_ODD_PROGRAM), domain,
+                                     store=store)
+        cold_digest = cold.summary_digest()
+        warm = InterproceduralEngine(cfgs_of(EVEN_ODD_PROGRAM), domain,
+                                     store=store)
+        assert warm.summary_digest() == cold_digest
+
+    def test_corrupt_blob_degrades_to_recompute(self, tmp_path):
+        domain = IntervalDomain()
+        store = _make_store("sqlite", tmp_path)
+        cold = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                     store=store)
+        cold_digest = cold.summary_digest()
+        for key in store.keys():
+            store.put(key, b"garbage, not a summary")
+
+        warm = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                     store=store)
+        warm_digest = warm.summary_digest()
+        assert warm_digest == cold_digest
+        assert warm.counters["interproc_store_errors"] > 0
+        assert warm.counters["interproc_summary_misses"] > 0
+        # The corrupt blobs were dropped and rewritten with good ones.
+        assert warm.counters["interproc_store_writes"] > 0
+        third = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                      store=store)
+        third.query_entry_exit()
+        assert third.counters["interproc_summary_misses"] == 0
+        assert third.counters["interproc_store_errors"] == 0
+
+    def test_store_spec_string_accepted_by_engine(self, tmp_path):
+        path = tmp_path / "spec.db"
+        engine = InterproceduralEngine(
+            cfgs_of(CHAIN_PROGRAM), IntervalDomain(),
+            store="sqlite:%s" % path)
+        engine.query_entry_exit()
+        assert engine.counters["interproc_store_writes"] > 0
+        assert path.exists()
+
+    @settings(**COMMON_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           policy_name=st.sampled_from(POLICIES))
+    def test_warm_start_equals_cold_after_random_edit_streams(
+            self, seed, policy_name):
+        """Property: after any edit stream, a fresh engine warm-started
+        from the edited session's store answers exactly like a storeless
+        from-scratch engine on the final program."""
+        domain = IntervalDomain()
+        generator = WorkloadGenerator(seed=seed, queries_per_edit=2)
+        workload = generator.generate_multiprocedure(edits=6, procedures=4)
+        store = InMemorySummaryStore()
+        session = InterproceduralEngine(workload.fresh_cfgs(), domain,
+                                        policy_by_name(policy_name),
+                                        store=store)
+        for step in workload.steps:
+            session.edit_procedure(step.procedure, step.edit.apply_to_engine)
+            for procedure, loc in step.query_sites:
+                session.query(procedure, loc)
+        final_cfgs = _fresh_copy(session.cfgs)
+        roots = session.queried_roots()
+        session_digest = session.summary_digest()
+
+        def replay(engine):
+            for procedure in roots:
+                engine.query(procedure, engine.cfgs[procedure].entry)
+            return engine.summary_digest()
+
+        warm = InterproceduralEngine(_fresh_copy(final_cfgs), domain,
+                                     policy_by_name(policy_name), store=store)
+        oracle = InterproceduralEngine(_fresh_copy(final_cfgs), domain,
+                                       policy_by_name(policy_name))
+        assert replay(warm) == replay(oracle) == session_digest
+        assert warm.counters["interproc_store_errors"] == 0
+        assert warm.counters["interproc_callsite_scans"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Memo-table eviction + store interplay
+# ---------------------------------------------------------------------------
+
+
+class TestMemoStoreInterplay:
+    def test_memo_stats_counters(self):
+        from repro.daig.memo import MemoTable
+        table = MemoTable(capacity=2)
+        table.store("f", (1,), "a")
+        table.store("f", (2,), "b")
+        table.lookup("f", (1,))
+        table.lookup("f", (3,))
+        table.store("f", (3,), "c")  # evicts (2,), the least recently used
+        stats = table.stats()
+        assert stats == {"entries": 2, "hits": 1, "misses": 1, "stores": 3,
+                         "evictions": 1, "capacity": 2}
+        assert table.lookup("f", (2,)) == (False, None)
+        assert table.lookup("f", (1,)) == (True, "a")
+
+    def test_evicted_summaries_recover_through_the_store(self):
+        """With a tiny memo capacity the engine evicts constantly, but the
+        write-through store means a re-demanded summary is served from the
+        second tier — summary misses do not grow after the initial run."""
+        domain = IntervalDomain()
+        store = InMemorySummaryStore()
+        engine = InterproceduralEngine(cfgs_of(DIAMOND_PROGRAM), domain,
+                                       store=store, memo_capacity=4)
+        engine.query_entry_exit()
+        misses_after_cold = engine.counters["interproc_summary_misses"]
+        assert misses_after_cold > 0
+        assert engine._summary_memo.stats()["evictions"] > 0
+
+        # Churn the shared table far past its capacity so every summary
+        # entry is certainly evicted before the re-demand below.
+        for i in range(32):
+            engine._summary_memo.store("churn", (i,), i)
+        assert len(engine._summary_memo) <= 4
+
+        # Edit main: every call cell re-evaluates, the callees' digests are
+        # unchanged, and their (long evicted) summaries must come back from
+        # the store, not from re-running the callee DAIGs.
+        engine.edit_procedure("main", _noise)
+        hits_before = engine.counters["interproc_store_hits"]
+        engine.query_entry_exit()
+        assert engine.counters["interproc_summary_misses"] == misses_after_cold
+        assert engine.counters["interproc_store_hits"] > hits_before
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection expires store entries
+# ---------------------------------------------------------------------------
+
+
+class TestStoreGarbageCollection:
+    def test_collect_garbage_expires_orphaned_context_entries(self, tmp_path):
+        """Under 1-call-site sensitivity each call site is its own context;
+        deleting a call site orphans its context, and collect_garbage must
+        expire that context's store entries while keeping live ones."""
+        domain = IntervalDomain()
+        store = _make_store("sqlite", tmp_path)
+        engine = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM), domain,
+                                       policy_by_name("1-call-site"),
+                                       store=store)
+        engine.summary_digest()  # populate every live context's summary
+        entries_before = len(store)
+        assert entries_before > 0
+        live_contexts = len(engine.contexts_of("middle"))
+        assert live_contexts == 2  # two call sites in main
+
+        def drop_second_call(pe):
+            calls = [e for e in pe.find_edges()
+                     if isinstance(e.stmt, A.CallStmt)
+                     and e.stmt.function == "middle"]
+            pe.replace_statement(
+                calls[-1], A.AssignStmt(calls[-1].stmt.target, A.IntLit(0)))
+
+        engine.edit_procedure("main", drop_second_call)
+        collected = engine.collect_garbage()
+        assert collected > 0
+        assert engine.counters["interproc_store_expired"] > 0
+        assert len(store) < entries_before
+        # The surviving context's summaries answer without recomputation
+        # after the engine is restarted on the edited program.
+        warm = InterproceduralEngine(_fresh_copy(engine.cfgs), domain,
+                                     policy_by_name("1-call-site"),
+                                     store=store)
+        warm.query_entry_exit()
+        assert warm.counters["interproc_summary_misses"] == 0
+
+    def test_collect_garbage_without_store_still_works(self):
+        engine = InterproceduralEngine(cfgs_of(CHAIN_PROGRAM),
+                                       IntervalDomain(),
+                                       policy_by_name("1-call-site"))
+        engine.summary_digest()
+        engine.edit_procedure("main", _noise)
+        engine.collect_garbage()  # must not trip over the absent store
+        assert engine.counters["interproc_store_expired"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Workload-driver integration
+# ---------------------------------------------------------------------------
+
+
+def test_driver_reports_store_stats(tmp_path):
+    from repro.analysis.config import InterprocIncrementalDemandConfiguration
+    from repro.workload import generate_interproc_trials, run_interproc_trial
+
+    workload = generate_interproc_trials(edits=10, trials=1, procedures=4)[0]
+    configuration = InterprocIncrementalDemandConfiguration(
+        workload.fresh_cfgs(), IntervalDomain(),
+        store="sqlite:%s" % (tmp_path / "driver.db"))
+    result = run_interproc_trial(configuration, workload.steps)
+    assert result.work["interproc_store_writes"] > 0
+    assert "summary_store_puts" in result.work
+    assert result.work["summary_store_entries"] > 0
