@@ -1,0 +1,315 @@
+"""Early-cutoff change propagation: edits that preserve values are cheap.
+
+The subject program is a call *chain*: a tiny ``leaf`` procedure called
+through ``depth`` loop-heavy middle procedures from ``main`` (the loops
+sit *after* each call, so they are downstream of the callee's summary and
+must be re-analyzed whenever the summary is dirtied).  Two edit streams
+run against ``leaf``:
+
+* ``value_preserving`` — toggles ``acc = (n + 2)`` to ``acc = (2 + n)``
+  and back: the text (and the CFG digest) changes on every edit, but the
+  abstract exit summary does not.  With cutoff enabled, the engine
+  recomputes only the leaf, certifies its exit unchanged, re-keys the
+  captured caller summaries under the new code digest, and never dirties
+  a single caller — the whole chain of middle-loop fixpoints is skipped.
+* ``semantic`` — toggles ``n + 2`` to ``n + 3`` and back: the summary
+  genuinely changes, cutoff certification must fail, and full caller
+  propagation runs.  (Both streams end on the original program text.)
+
+Each stream runs on a cutoff-enabled and a cutoff-disabled engine, per
+context policy.  The hard invariant — cutoff changes only latency, never
+any answer — is asserted as digest equality: cutoff == no-cutoff == a
+from-scratch engine on the final program, bit for bit, for every policy
+and both streams.  The headline number is the value-preserving streams'
+edit->re-query latency ratio (no-cutoff / cutoff), required >= 2x.
+
+Counters are snapshotted after the initial query and after the edit
+stream, so each section reports the *stream's* deltas: cutoff runs must
+show ``summary_cutoffs``/``cells_cutoff`` firing with zero call-site
+dirtying; cutoff-disabled runs must keep every cutoff counter at zero.
+
+Everything lands in ``BENCH_cutoff.json`` (override with
+``REPRO_BENCH_CUTOFF_JSON``); CI uploads it and asserts the counters,
+the digests, and the speedup on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.domains import IntervalDomain
+from repro.interproc import InterproceduralEngine, policy_by_name
+from repro.lang import ast as A
+from repro.lang import build_program_cfgs, parse_program
+
+POLICIES = ("context-insensitive", "1-call-site", "2-call-site")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _scale():
+    return (_env_int("REPRO_BENCH_CUTOFF_DEPTH", 5),
+            _env_int("REPRO_BENCH_CUTOFF_BOUND", 40),
+            _env_int("REPRO_BENCH_CUTOFF_EDITS", 4),
+            _env_int("REPRO_BENCH_CUTOFF_REPEATS", 2))
+
+
+def chain_call_graph_source(depth: int, bound: int) -> str:
+    """``main -> mid{depth-1} -> ... -> mid0 -> leaf``.
+
+    The leaf is deliberately tiny (re-certifying its exit after an edit
+    is cheap); every middle procedure carries a nested loop pair *after*
+    its call, so the loop's fixpoint depends on the callee summary and is
+    re-analyzed whenever the summary is dirtied.  The savings the cutoff
+    can realize — skipping every caller — therefore dominate the cost it
+    cannot avoid (recomputing the edited leaf).
+    """
+    parts = ["""function leaf(n) {
+  var acc = (n + 2);
+  return acc;
+}"""]
+    callee = "leaf"
+    for index in range(depth):
+        name = "mid%d" % index
+        limit = bound + 5 * index
+        parts.append("\n".join([
+            "function %s(x) {" % name,
+            "  var r = %s(x);" % callee,
+            "  var j = 0;",
+            "  while (j < %d) {" % limit,
+            "    var k = 0;",
+            "    while (k < %d) {" % (limit // 2 + 1),
+            "      var t = r + k;",
+            "      if (t > %d) { r = r - 1; } else { r = r + 2; }" % (limit // 2),
+            "      k = k + 1;",
+            "    }",
+            "    j = j + 1;",
+            "  }",
+            "  return r;",
+            "}"]))
+        callee = name
+    parts.append("""function main() {
+  var out = %s(1);
+  return out;
+}""" % callee)
+    return "\n\n".join(parts)
+
+
+def _build_cfgs(source):
+    cfgs = build_program_cfgs(parse_program(source))
+    for cfg in cfgs.values():
+        cfg.ensure_structure()  # CFG lowering cost is not analysis
+    return cfgs
+
+
+def _toggle_edge(procedure_engine):
+    """The leaf's ``acc = ...`` statement (wherever the toggles left it)."""
+    for edge in procedure_engine.cfg.edges:
+        stmt = edge.stmt
+        if (isinstance(stmt, A.AssignStmt) and stmt.target == "acc"
+                and isinstance(stmt.value, A.BinOp) and stmt.value.op == "+"):
+            return edge
+    raise AssertionError("leaf's toggle statement not found")
+
+
+def _value_preserving_stmt(step: int) -> A.AssignStmt:
+    """New text every step, same abstract value (interval + is commutative).
+
+    Even steps swap the operands away from the source's ``(n + 2)``; odd
+    steps swap them back, so an even-length stream ends on the original.
+    """
+    if step % 2 == 0:
+        return A.AssignStmt("acc", A.BinOp("+", A.IntLit(2), A.Var("n")))
+    return A.AssignStmt("acc", A.BinOp("+", A.Var("n"), A.IntLit(2)))
+
+
+def _semantic_stmt(step: int) -> A.AssignStmt:
+    """A genuine value change (+3) and its revert (+2), alternating."""
+    literal = 3 if step % 2 == 0 else 2
+    return A.AssignStmt("acc", A.BinOp("+", A.Var("n"), A.IntLit(literal)))
+
+
+_COUNTER_KEYS = {
+    "summary_cutoffs": "interproc_summary_cutoffs",
+    "store_rekeys": "interproc_store_rekeys",
+    "callsite_dirties": "interproc_callsite_dirties",
+    "callsite_scans": "interproc_callsite_scans",
+    "summary_misses": "interproc_summary_misses",
+}
+_WORK_KEYS = ("cells_cutoff", "cells_restored", "transfers")
+
+
+def _snapshot(engine):
+    snap = dict(engine.counters)
+    snap.update(engine.total_stats())
+    return snap
+
+
+def _run_stream(source, policy_name, cutoff, edits, make_stmt):
+    """Initial query, then ``edits`` timed edit->re-query steps.
+
+    Reported counters are the *stream's* deltas (initial analysis
+    excluded), so cutoff rates are not buried under the first fixpoint.
+    The digest at the end deliberately runs after the timing and the
+    counter snapshot: it drives exhaustive evaluation.
+    """
+    engine = InterproceduralEngine(_build_cfgs(source), IntervalDomain(),
+                                   policy_by_name(policy_name), cutoff=cutoff)
+    engine.query_entry_exit()
+    before = _snapshot(engine)
+    started = time.perf_counter()
+    for step in range(edits):
+        stmt = make_stmt(step)
+        engine.edit_procedure(
+            "leaf",
+            lambda pe, _stmt=stmt: pe.replace_statement(_toggle_edge(pe), _stmt))
+        engine.query_entry_exit()
+    seconds = time.perf_counter() - started
+    after = _snapshot(engine)
+    snapshot = {"seconds": seconds, "edits": edits}
+    for label, counter in _COUNTER_KEYS.items():
+        snapshot[label] = after[counter] - before[counter]
+    for label in _WORK_KEYS:
+        snapshot[label] = after[label] - before[label]
+    snapshot["digest"] = engine.summary_digest()
+    return snapshot
+
+
+def _stream_section(source, policy_name, edits, repeats, make_stmt):
+    section = None
+    for _repeat in range(max(1, repeats)):
+        with_cutoff = _run_stream(source, policy_name, True, edits, make_stmt)
+        without = _run_stream(source, policy_name, False, edits, make_stmt)
+        if section is None:
+            section = {"cutoff": with_cutoff, "nocutoff": without}
+        else:
+            # Counters and digests are identical across repeats; keep the
+            # per-run best wall clock (noise dominates at tiny scales).
+            for run, snapshot in (("cutoff", with_cutoff),
+                                  ("nocutoff", without)):
+                if snapshot["seconds"] < section[run]["seconds"]:
+                    section[run]["seconds"] = snapshot["seconds"]
+    assert section is not None
+    section["speedup"] = (
+        section["nocutoff"]["seconds"] / section["cutoff"]["seconds"]
+        if section["cutoff"]["seconds"] > 0 else 0.0)
+    return section
+
+
+@pytest.fixture(scope="module")
+def cutoff_results():
+    """Measure every policy x stream x engine and write BENCH_cutoff.json."""
+    depth, bound, edits, repeats = _scale()
+    if edits % 2:
+        edits += 1  # streams must end on the original program text
+    source = chain_call_graph_source(depth, bound)
+
+    # The from-scratch oracle: both streams end on the original text, so
+    # one fresh cutoff-disabled engine per policy is the final-program
+    # from-scratch answer for *both* streams.
+    policies = {}
+    for policy_name in POLICIES:
+        oracle = InterproceduralEngine(_build_cfgs(source), IntervalDomain(),
+                                       policy_by_name(policy_name),
+                                       cutoff=False)
+        oracle.query_entry_exit()
+        policies[policy_name] = {
+            "value_preserving": _stream_section(
+                source, policy_name, edits, repeats, _value_preserving_stmt),
+            "semantic": _stream_section(
+                source, policy_name, edits, repeats, _semantic_stmt),
+            "digest_scratch": oracle.summary_digest(),
+        }
+
+    artifact = {
+        "workload": {"depth": depth, "bound": bound, "edits": edits,
+                     "repeats": repeats, "domain": "interval",
+                     "procedures": depth + 2, "edited": "leaf"},
+        "policies": policies,
+    }
+    path = os.environ.get("REPRO_BENCH_CUTOFF_JSON", "BENCH_cutoff.json")
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    return artifact
+
+
+def test_value_preserving_edits_cut_off(cutoff_results):
+    """Every value-preserving edit certifies at the summary level: the
+    cutoff counters fire, the caller summaries are re-keyed rather than
+    recomputed, and not one call site is dirtied."""
+    edits = cutoff_results["workload"]["edits"]
+    for policy, section in cutoff_results["policies"].items():
+        run = section["value_preserving"]["cutoff"]
+        assert run["summary_cutoffs"] == edits, policy
+        assert run["store_rekeys"] > 0, policy
+        assert run["cells_cutoff"] > 0, policy
+        assert run["callsite_dirties"] == 0, policy
+
+
+def test_semantic_edits_never_cut_off(cutoff_results):
+    """A genuine value change must fail certification every time — the
+    cutoff is an optimization, not an approximation."""
+    for policy, section in cutoff_results["policies"].items():
+        run = section["semantic"]["cutoff"]
+        assert run["summary_cutoffs"] == 0, policy
+        assert run["callsite_dirties"] > 0, policy
+
+
+def test_disabled_engines_never_cut_off(cutoff_results):
+    """With ``cutoff=False`` the engine must behave exactly like the
+    pre-cutoff code path: every cutoff counter stays at zero."""
+    for policy, section in cutoff_results["policies"].items():
+        for stream in ("value_preserving", "semantic"):
+            run = section[stream]["nocutoff"]
+            where = (policy, stream)
+            assert run["summary_cutoffs"] == 0, where
+            assert run["store_rekeys"] == 0, where
+            assert run["cells_cutoff"] == 0, where
+            assert run["cells_restored"] == 0, where
+    # ... and the value-preserving streams it cannot shortcut do real
+    # caller re-analysis, which is exactly what the cutoff engine skips.
+    for policy, section in cutoff_results["policies"].items():
+        assert (section["value_preserving"]["nocutoff"]["callsite_dirties"]
+                > 0), policy
+
+
+def test_cutoff_changes_latency_never_answers(cutoff_results):
+    """The hard invariant, digest-certified: for every policy and both
+    streams, the cutoff engine's final summaries equal the cutoff-disabled
+    engine's and a from-scratch engine's, bit for bit."""
+    for policy, section in cutoff_results["policies"].items():
+        scratch = section["digest_scratch"]
+        for stream in ("value_preserving", "semantic"):
+            where = (policy, stream)
+            assert section[stream]["cutoff"]["digest"] == scratch, where
+            assert section[stream]["nocutoff"]["digest"] == scratch, where
+
+
+def test_value_preserving_speedup(cutoff_results):
+    """The headline: on value-preserving streams, cutoff makes the
+    edit->re-query loop >= 2x faster (callers are never re-analyzed)."""
+    for policy, section in cutoff_results["policies"].items():
+        run = section["value_preserving"]
+        print("\n%s: nocutoff %.4fs cutoff %.4fs (%.1fx)"
+              % (policy, run["nocutoff"]["seconds"],
+                 run["cutoff"]["seconds"], run["speedup"]))
+        assert run["speedup"] >= 2.0, policy
+
+
+def test_cutoff_keeps_locality(cutoff_results):
+    """The cutoff path must not regress the locality invariant: no
+    call-site scans on any run, ever."""
+    for policy, section in cutoff_results["policies"].items():
+        for stream in ("value_preserving", "semantic"):
+            for run in ("cutoff", "nocutoff"):
+                assert (section[stream][run]["callsite_scans"] == 0
+                        ), (policy, stream, run)

@@ -32,7 +32,13 @@ def dirty_forward(daig: Daig, builder: DaigBuilder, seeds: Iterable[Name]) -> Se
 
     Returns the set of dirtied names.  Loops whose iterate chain is touched
     are rolled back to their initial two-iterate encoding (E-Loop).
+
+    Opens a new dirtying epoch: each dirtied cell's prior value is retained
+    by :meth:`~repro.daig.graph.Daig.clear_value` as an early-cutoff shadow
+    stamped with this epoch, so that re-demand can stop propagating at the
+    first unchanged value and restore the rest (:mod:`repro.daig.query`).
     """
+    daig.epoch += 1
     dirtied = daig.forward_reachable(seeds)
     for name in dirtied:
         daig.clear_value(name)

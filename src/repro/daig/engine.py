@@ -64,6 +64,7 @@ class EditStats:
         self.cells_removed = 0
         self.cells_added = 0
         self.cells_dirtied = 0
+        self.cells_shadowed = 0
         self.snapshot_full_captures = 0
         self.snapshot_locs_resigned = 0
         self.last_report: Optional[SpliceReport] = None
@@ -73,6 +74,7 @@ class EditStats:
         self.cells_removed += report.cells_removed
         self.cells_added += report.cells_added
         self.cells_dirtied += report.cells_dirtied
+        self.cells_shadowed = report.cells_shadowed
         self.snapshot_locs_resigned += report.locs_resigned
         if report.full_capture:
             self.snapshot_full_captures += 1
@@ -92,6 +94,7 @@ class EditStats:
             "spliced_cells_removed": self.cells_removed,
             "spliced_cells_added": self.cells_added,
             "spliced_cells_dirtied": self.cells_dirtied,
+            "cells_shadowed": self.cells_shadowed,
             "snapshot_full_captures": self.snapshot_full_captures,
             "snapshot_locs_resigned": self.snapshot_locs_resigned,
         }
@@ -111,12 +114,14 @@ class DaigEngine:
         entry_state: Optional[Any] = None,
         call_transfer: Optional[Callable[[A.CallStmt, Any], Any]] = None,
         parallel_cells: Optional[int] = None,
+        cutoff: bool = True,
     ) -> None:
         self.cfg = cfg
         self.domain = domain
         self.memo = memo if memo is not None else MemoTable()
         self.call_transfer = call_transfer
         self._entry_state = entry_state
+        self.cutoff = cutoff
         self.builder = DaigBuilder(cfg, domain, entry_state)
         self.daig = self.builder.build()
         if parallel_cells is not None and parallel_cells < 1:
@@ -124,10 +129,11 @@ class DaigEngine:
         if parallel_cells is not None and parallel_cells > 1:
             self.evaluator: QueryEvaluator = ParallelQueryEvaluator(
                 self.daig, self.memo, domain, self.builder, call_transfer,
-                workers=parallel_cells)
+                workers=parallel_cells, cutoff=cutoff)
         else:
             self.evaluator = QueryEvaluator(
-                self.daig, self.memo, domain, self.builder, call_transfer)
+                self.daig, self.memo, domain, self.builder, call_transfer,
+                cutoff=cutoff)
         self.edit_stats = EditStats(cfg)
         # The live structure snapshot: captured from scratch exactly once,
         # then updated in place over each edit's affected region.

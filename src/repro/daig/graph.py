@@ -22,6 +22,20 @@ instead of O(graph):
   nonzero unrolling iteration, used by loop roll-back (rule E-Loop) and by
   splicing to discard a loop's demanded unrollings in one sweep.
 
+A fourth group of side tables supports change propagation with early
+cutoff: when an edit dirties a cell, its prior value is retained as a
+*shadow*; during re-demand, a recomputed cell whose new value is pointer
+equal to its shadow proves that everything dirtied only through it is
+unchanged, so those consumers are restored from their own shadows instead
+of recomputed (:mod:`repro.daig.query`).  Shadows from different edits may
+coexist, so each is validated by *epochs*: ``epoch`` counts dirtying
+waves, ``shadow_caps[n]`` records the epoch at which ``n``'s shadow was
+captured (the cell and its inputs were mutually consistent then), and
+``stamps[n]`` records the epoch of the last pointer-*change* of ``n``'s
+value.  A shadow may restore its cell only when every input's last change
+predates the shadow's capture — then recomputation would provably
+reproduce the shadow.
+
 :meth:`Daig.remove_region` removes a whole cell-and-computation subregion
 (the counterpart of re-encoding one via
 :meth:`repro.daig.build.DaigBuilder.encode_incoming`).
@@ -38,6 +52,9 @@ TRANSFER = "transfer"  # ⟦·⟧♯
 JOIN = "join"          # ⊔
 WIDEN = "widen"        # ∇
 FIX = "fix"            # the distinguished fixed-point marker
+
+#: Sentinel distinguishing "no value" from any held value.
+_ABSENT = object()
 
 
 class Computation:
@@ -86,6 +103,21 @@ class Daig:
         self.dependents: Dict[Name, Set[Name]] = {}
         self.anchored: Dict[int, Set[Name]] = {}
         self.iterated: Dict[int, Set[Name]] = {}
+        #: Prior values of dirtied cells (early cutoff, see module docstring).
+        self.shadows: Dict[Name, Any] = {}
+        #: Epoch at which each shadow was captured.
+        self.shadow_caps: Dict[Name, int] = {}
+        #: Epoch of the last pointer-change of each cell's value (absent = 0:
+        #: never changed since the initial encoding).
+        self.stamps: Dict[Name, int] = {}
+        #: The dirtying-wave counter (bumped by ``dirty_forward``).
+        self.epoch: int = 0
+        #: Shadowed cells whose defining computation was re-encoded since the
+        #: shadow was captured: their shadow is a valid *baseline* for the
+        #: cutoff comparison at their own commit, but the cell itself must
+        #: never be restored from it (the old value belongs to the old
+        #: computation).
+        self.baseline_only: Set[Name] = set()
 
     # -- construction ------------------------------------------------------------
 
@@ -133,6 +165,10 @@ class Daig:
         self.remove_computation(name)
         self.refs.discard(name)
         self.values.pop(name, None)
+        self.shadows.pop(name, None)
+        self.shadow_caps.pop(name, None)
+        self.stamps.pop(name, None)
+        self.baseline_only.discard(name)
         if name.cell_type() != TYPE_STMT:
             anchored = self.anchored.get(name.anchor())
             if anchored is not None:
@@ -175,10 +211,33 @@ class Daig:
     def set_value(self, name: Name, value: Any) -> None:
         if name not in self.refs:
             raise KeyError("unknown reference cell %s" % (name,))
+        # Stamp pointer-*changes* only: the last known value is the held one,
+        # or the shadow while the cell is dirty.  Writing a different value
+        # also retires the shadow — it is no longer a valid restore payload
+        # or cutoff baseline for this cell.
+        if name in self.values:
+            prev = self.values[name]
+        elif name in self.shadows:
+            prev = self.shadows[name]
+        else:
+            prev = _ABSENT
+        if prev is not value:
+            self.stamps[name] = self.epoch
+            if prev is not _ABSENT and name in self.shadows:
+                del self.shadows[name]
+                self.shadow_caps.pop(name, None)
+                self.baseline_only.discard(name)
         self.values[name] = value
 
     def clear_value(self, name: Name) -> None:
-        self.values.pop(name, None)
+        """Empty a cell, retaining its value (if any) as an early-cutoff
+        shadow captured at the current epoch: the cell and its inputs are
+        mutually consistent at the moment of dirtying."""
+        value = self.values.pop(name, _ABSENT)
+        if value is not _ABSENT:
+            self.shadows[name] = value
+            self.shadow_caps[name] = self.epoch
+            self.baseline_only.discard(name)
 
     def defining(self, name: Name) -> Optional[Computation]:
         return self.computations.get(name)

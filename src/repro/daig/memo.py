@@ -114,6 +114,17 @@ class MemoTable:
                 self._table.popitem(last=False)
                 self.evictions += 1
 
+    def peek(self, func: str, args: Tuple[Any, ...]) -> Tuple[bool, Any]:
+        """Like :meth:`lookup`, but without touching the hit/miss counters
+        or the LRU order — for bookkeeping passes (e.g. snapshotting entries
+        about to be invalidated) that are not real memoization queries."""
+        if not self.enabled:
+            return False, None
+        key = self.key(func, args)
+        if key is None or key not in self._table:
+            return False, None
+        return True, self._table[key]
+
     def discard(self, func: str, args: Tuple[Any, ...]) -> bool:
         """Drop one entry if present (always sound, per Section 2.2).
 

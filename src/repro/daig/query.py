@@ -43,6 +43,9 @@ from .names import Name
 #: widening never comes close, so exceeding it signals a domain bug.
 MAX_UNROLLINGS = 2000
 
+#: Sentinel distinguishing "cell is empty" from any real value.
+_ABSENT = object()
+
 
 class StaleDemandError(Exception):
     """The queried root cell was removed while its demand was in flight.
@@ -63,6 +66,11 @@ class QueryStats:
         self.unrollings = 0
         self.cells_computed = 0
         self.cells_reused = 0
+        #: Early-cutoff counters: recomputed cells whose new value was
+        #: pointer-equal to their pre-edit shadow, and downstream cells
+        #: restored from their shadows instead of recomputed.
+        self.cells_cutoff = 0
+        self.cells_restored = 0
         #: Parallel-worklist counters (0 under the sequential evaluator):
         #: batches of independent ready cells dispatched concurrently, and
         #: the total cells evaluated through those batches.
@@ -77,6 +85,8 @@ class QueryStats:
             "unrollings": self.unrollings,
             "cells_computed": self.cells_computed,
             "cells_reused": self.cells_reused,
+            "cells_cutoff": self.cells_cutoff,
+            "cells_restored": self.cells_restored,
             "parallel_batches": self.parallel_batches,
             "parallel_batch_cells": self.parallel_batch_cells,
         }
@@ -92,12 +102,17 @@ class QueryEvaluator:
         domain: AbstractDomain,
         builder: DaigBuilder,
         call_transfer: Optional[Callable[[A.CallStmt, Any], Any]] = None,
+        cutoff: bool = True,
     ) -> None:
         self.daig = daig
         self.memo = memo
         self.domain = domain
         self.builder = builder
         self.call_transfer = call_transfer
+        #: Early cutoff: compare every committed value against the cell's
+        #: pre-edit shadow and restore the unchanged downstream cone.
+        #: Disabled only by benchmark baselines measuring its benefit.
+        self.cutoff = cutoff
         self.stats = QueryStats()
 
     # -- the query judgment ------------------------------------------------------------
@@ -178,11 +193,76 @@ class QueryEvaluator:
                 on_path = {name}
                 pushed_by.clear()
                 continue
-            daig.set_value(current, value)
-            self.stats.cells_computed += 1
+            self._commit_cell(current, value)
             stack.pop()
             on_path.discard(current)
         return daig.value(name)
+
+    def _commit_cell(self, name: Name, value: Any) -> None:
+        """Write a recomputed value into its cell — the one place values are
+        committed, so early cutoff sees every recomputation.
+
+        If the new value is pointer-equal to the cell's pre-edit shadow, the
+        edit's effect died out here: every consumer dirtied only through
+        this cell would recompute exactly its own prior value, so those
+        consumers are *restored* from their shadows instead (E-Propagate
+        stopped at the first unchanged value)."""
+        daig = self.daig
+        daig.set_value(name, value)
+        self.stats.cells_computed += 1
+        if self.cutoff and daig.shadows.get(name) is value:
+            del daig.shadows[name]
+            daig.shadow_caps.pop(name, None)
+            daig.baseline_only.discard(name)
+            self.stats.cells_cutoff += 1
+            self._restore_from(name)
+
+    def _restore_from(self, source: Name) -> None:
+        """Restore the consumers of an unchanged cell from their shadows.
+
+        A dirtied (empty, shadowed) cell is restorable when every input of
+        its defining computation holds a value whose last pointer-change
+        (``daig.stamps``) is *strictly earlier* than the epoch at which the
+        shadow was captured (``daig.shadow_caps``): a shadow is captured at
+        a moment of src-consistency, so inputs unchanged since then would
+        provably reproduce it, while an input (re)written at the capture
+        epoch or later may not be the value the shadow was computed from.  ``fix`` cells are never restored: after roll-back their two
+        inputs no longer determine the fixed point (the loop body does too),
+        so they reconverge by demanded unrolling and cut off at their own
+        commit.  Call transfers likewise recompute honestly — their value
+        also depends on the callee's summary, which their inputs cannot
+        witness."""
+        daig = self.daig
+        shadows = daig.shadows
+        stamps = daig.stamps
+        frontier = [source]
+        while frontier:
+            for dep in daig.dependents_of(frontier.pop()):
+                if dep not in shadows or dep in daig.values \
+                        or dep in daig.baseline_only:
+                    continue
+                comp = daig.defining(dep)
+                if comp is None or comp.func == FIX:
+                    continue
+                if (comp.func == TRANSFER and self.call_transfer is not None
+                        and daig.has_value(comp.srcs[0])
+                        and isinstance(daig.value(comp.srcs[0]), A.CallStmt)):
+                    continue
+                cap = daig.shadow_caps.get(dep, 0)
+                restorable = True
+                for src in comp.srcs:
+                    if src not in daig.values or stamps.get(src, 0) >= cap:
+                        restorable = False
+                        break
+                if not restorable:
+                    continue
+                # set_value before popping: the previous known value is the
+                # shadow itself, so the restore does not bump the stamp.
+                daig.set_value(dep, shadows[dep])
+                shadows.pop(dep, None)
+                daig.shadow_caps.pop(dep, None)
+                self.stats.cells_restored += 1
+                frontier.append(dep)
 
     def _evaluate_ready_frontier(self, current: Name) -> bool:
         """Hook for the parallel evaluator: evaluate ready cells below
@@ -219,14 +299,16 @@ class QueryEvaluator:
         second = self.daig.value(comp.srcs[1])
         # Interned states make the common converged case a pointer check.
         if first is second or self.domain.equal(first, second):
-            self.daig.set_value(name, second)
-            self.stats.cells_computed += 1
+            self._commit_cell(name, second)
             return
         count = unrollings.get(name, 0) + 1
         if count > MAX_UNROLLINGS:
             raise IllFormedDaigError(
-                "loop at head %d did not converge within %d demanded unrollings"
-                % (name.loc, MAX_UNROLLINGS))
+                "loop at head %d (fix cell %s) did not converge within %d "
+                "demanded unrollings; the last two iterates were %s: %r "
+                "and %s: %r — the domain's widening is not stabilizing them"
+                % (name.loc, name, MAX_UNROLLINGS,
+                   comp.srcs[0], first, comp.srcs[1], second))
         unrollings[name] = count
         self.stats.unrollings += 1
         self.builder.unroll(self.daig, name.loc, dict(name.iters))
@@ -299,10 +381,12 @@ class ParallelQueryEvaluator(QueryEvaluator):
         builder: DaigBuilder,
         call_transfer: Optional[Callable[[A.CallStmt, Any], Any]] = None,
         workers: int = 2,
+        cutoff: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("parallel evaluation needs at least one worker")
-        super().__init__(daig, memo, domain, builder, call_transfer)
+        super().__init__(daig, memo, domain, builder, call_transfer,
+                         cutoff=cutoff)
         self.workers = workers
         self._executor: Optional[Any] = None
         #: Wall-clock seconds spent dispatching and gathering batches,
@@ -366,11 +450,13 @@ class ParallelQueryEvaluator(QueryEvaluator):
         progressed = False
         misses: List[Tuple[Name, Computation, Tuple[Any, ...]]] = []
         for cell, comp in ready:
+            if daig.has_value(cell):
+                progressed = True  # restored by an earlier commit's cutoff
+                continue
             args = tuple(daig.value(src) for src in comp.srcs)
             found, cached = self.memo.lookup(comp.func, args)
             if found:
-                daig.set_value(cell, cached)
-                self.stats.cells_computed += 1
+                self._commit_cell(cell, cached)
                 self.stats.cells_reused += len(comp.srcs)
                 progressed = True
             else:
@@ -389,9 +475,10 @@ class ParallelQueryEvaluator(QueryEvaluator):
                       for (_cell, comp, args) in misses]
         # Commit on the demanding thread, in the sorted order of ``misses``.
         for (cell, comp, args), value in zip(misses, values):
-            daig.set_value(cell, value)
             self.memo.store(comp.func, args, value)
-            self._count_batch_stats(comp, args)
+            if not daig.has_value(cell):  # an earlier cutoff may restore it
+                self._commit_cell(cell, value)
+                self._count_batch_stats(comp, args)
             progressed = True
         return progressed
 
@@ -417,7 +504,7 @@ class ParallelQueryEvaluator(QueryEvaluator):
             self.stats.joins += 1
         elif comp.func == WIDEN:
             self.stats.widens += 1
-        self.stats.cells_computed += 1
+        # ``cells_computed`` is counted by ``_commit_cell``.
         # Every input of a ready cell held its value before this demand
         # reached it, so each read counts as Q-Reuse.
         self.stats.cells_reused += len(args)

@@ -157,6 +157,9 @@ class SpliceReport:
     cells_added: int = 0
     cells_dirtied: int = 0
     values_retained: int = 0
+    #: Cells whose prior value survived the splice as an early-cutoff
+    #: shadow (dirtied cells, re-encoded cells, relabelled statements).
+    cells_shadowed: int = 0
     seeds: List[N.Name] = field(default_factory=list)
     #: Snapshot entries re-signed by this splice (the whole reachable set
     #: for a full capture, the suspect region for a delta splice).
@@ -379,6 +382,14 @@ def _apply_splice(
         to_remove.update(daig.iterated_cells(head, 1))
     for src, dst, index in stale_stmts:
         to_remove.add(N.stmt_name(src, dst, index))
+    # Keep the prior values (and change stamps) of cells about to be
+    # removed: any re-encoded under the same name below becomes an
+    # early-cutoff shadow — if its recomputed value comes back
+    # pointer-equal, the cone dirtied through it is restored, not
+    # recomputed.  The stamps must survive the remove/re-add round trip,
+    # or a re-encoded cell would look "never changed" to the restore walk.
+    prior_values = {name: (daig.values[name], daig.stamps.get(name, 0))
+                    for name in to_remove if name in daig.values}
     report.cells_removed = daig.remove_region(to_remove)
 
     # -- re-encode the dirty regions ----------------------------------------
@@ -393,10 +404,11 @@ def _apply_splice(
 
     # -- update re-labelled statement cells and dirty downstream -------------
     seeds: List[N.Name] = []
+    relabels: List[Tuple[N.Name, StmtKey]] = []
     for key in relabelled_stmts:
         name = N.stmt_name(*key)
         if name in daig.refs:
-            daig.set_value(name, stmt_values[key])
+            relabels.append((name, key))
             seeds.append(name)
     for loc in sorted(dirty_locs):
         if loc != cfg.entry:
@@ -405,6 +417,38 @@ def _apply_splice(
         seeds.append(builder.fix_name(head, {}))
     report.seeds = seeds
     report.cells_dirtied = len(dirty_forward(daig, builder, seeds))
+    # Write the re-labelled statements only *after* dirty_forward captured
+    # the downstream shadows: the shadows were computed from the old
+    # statement values, so a statement that really changes must be stamped
+    # at (not before) the capture epoch to veto restoring through it.
+    for name, key in relabels:
+        daig.set_value(name, stmt_values[key])
+    # Re-encoded cells that came back under their old names: re-holding
+    # source cells get their stamps fixed up (the rebuild reset them), and
+    # empty computed cells adopt their prior values as shadows.  A
+    # re-encoded computation changed, so such a shadow is usable only as a
+    # cutoff baseline at its own commit, never as a restore payload.
+    epoch = daig.epoch
+    for name, (value, stamp) in prior_values.items():
+        if name not in daig.refs:
+            continue
+        if name in daig.values:
+            if daig.values[name] is value:
+                if stamp:
+                    daig.stamps[name] = stamp
+                else:
+                    daig.stamps.pop(name, None)
+            else:
+                daig.stamps[name] = epoch
+        elif name not in daig.shadows:
+            daig.shadows[name] = value
+            daig.shadow_caps[name] = epoch
+            if stamp:
+                daig.stamps[name] = stamp
+            else:
+                daig.stamps.pop(name, None)
+            daig.baseline_only.add(name)
+    report.cells_shadowed = len(daig.shadows)
     report.values_retained = len(daig.values)
     report.splice_seconds = time.perf_counter() - started
     return report

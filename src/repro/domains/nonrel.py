@@ -46,7 +46,8 @@ class ScalarValue:
     computed once.
     """
 
-    __slots__ = ("num", "maybe_null", "maybe_other", "_hash", "__weakref__")
+    __slots__ = ("num", "maybe_null", "maybe_other", "_hash", "_cbytes",
+                 "__weakref__")
 
     _intern = InternTable("nonrel.ScalarValue")
 
@@ -96,7 +97,7 @@ class ArraySummary:
     Interned like :class:`ScalarValue`.
     """
 
-    __slots__ = ("length", "element", "_hash", "__weakref__")
+    __slots__ = ("length", "element", "_hash", "_cbytes", "__weakref__")
 
     _intern = InternTable("nonrel.ArraySummary")
 
@@ -143,7 +144,8 @@ class EnvState:
     index so :meth:`get` is a dict lookup instead of a linear scan.
     """
 
-    __slots__ = ("bindings", "bottom", "_index", "_keys", "_hash", "__weakref__")
+    __slots__ = ("bindings", "bottom", "_index", "_keys", "_hash", "_cbytes",
+                 "__weakref__")
 
     _intern = InternTable("nonrel.EnvState")
 

@@ -50,7 +50,7 @@ class OctagonState:
     """
 
     __slots__ = ("variables", "matrix", "is_bottom", "closed", "_hash",
-                 "__weakref__")
+                 "_cbytes", "__weakref__")
 
     _intern = InternTable("octagon.OctagonState")
 
@@ -109,6 +109,14 @@ class OctagonState:
             return (OctagonState, ((), None, True))
         return (OctagonState,
                 (self.variables, np.array(self.matrix), False, self.closed))
+
+    def __canonical_args__(self):
+        # The canonical encoding must not include ``closed``: it is monotone
+        # knowledge about the same matrix, flipped in place on the canonical
+        # object, and two moments of the same state must digest equally.
+        if self.is_bottom:
+            return ((), None, True)
+        return (self.variables, np.array(self.matrix), False)
 
     def __str__(self) -> str:
         if self.is_bottom:

@@ -39,7 +39,7 @@ class Interval:
     equality is identity and hashing is cached.
     """
 
-    __slots__ = ("lo", "hi", "empty", "_hash", "__weakref__")
+    __slots__ = ("lo", "hi", "empty", "_hash", "_cbytes", "__weakref__")
 
     _intern = InternTable("values.Interval")
 
@@ -501,7 +501,7 @@ class Constant:
     Interned like :class:`Interval`: equality is identity, hashing cached.
     """
 
-    __slots__ = ("kind", "value", "_hash", "__weakref__")
+    __slots__ = ("kind", "value", "_hash", "_cbytes", "__weakref__")
 
     _intern = InternTable("values.Constant")
 

@@ -42,12 +42,18 @@ class InternTable:
     never keeps an object alive by itself.
     """
 
-    __slots__ = ("name", "hits", "misses", "_table", "_lock", "__weakref__")
+    __slots__ = ("name", "hits", "misses", "encode_hits", "encode_misses",
+                 "_table", "_lock", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.hits = 0
         self.misses = 0
+        #: Canonical-encoding cache traffic (see repro.store.canonical):
+        #: interned objects memoize their ``canonical_bytes`` in a slot, so
+        #: repeated digests/store keys over the same states are O(1).
+        self.encode_hits = 0
+        self.encode_misses = 0
         self._table: "weakref.WeakValueDictionary[Hashable, Any]" = (
             weakref.WeakValueDictionary())
         #: Serializes insertions so that concurrent construction of the same
@@ -92,7 +98,9 @@ class InternTable:
     def stats(self) -> Dict[str, int]:
         return {"entries": len(self._table),
                 "hits": self.hits,
-                "misses": self.misses}
+                "misses": self.misses,
+                "encode_hits": self.encode_hits,
+                "encode_misses": self.encode_misses}
 
 
 def all_tables() -> List[InternTable]:
@@ -110,3 +118,5 @@ def reset_intern_stats() -> None:
     for table in _REGISTRY:
         table.hits = 0
         table.misses = 0
+        table.encode_hits = 0
+        table.encode_misses = 0

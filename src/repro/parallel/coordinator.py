@@ -191,6 +191,18 @@ class ParallelCoordinator:
                                              key=lambda k: repr(k[1])))
             job_keys: List[SummaryKey] = []
             for key in candidates:
+                # Early-cutoff short circuit: the engine's own memo already
+                # holds the summary for exactly this (code, context, entry)
+                # — e.g. re-keyed by a certified value-preserving edit — so
+                # the job is avoided outright, before even the store probe.
+                memo_args = (key[0], key[1], engine.deep_digest(key[0]),
+                             spec_entries[key])
+                found, cached = engine._summary_memo.peek(
+                    "summary", memo_args)
+                if found:
+                    results[key] = JobResult(key=key, exit_state=cached,
+                                             from_memo=True)
+                    continue
                 # Persistent-store short circuit: a prior run's summary at
                 # exactly the speculated entry means no worker needs to run
                 # for this key — the stored exit is certified like any
@@ -224,7 +236,8 @@ class ParallelCoordinator:
                              if ckey in results
                              and results[ckey].error is None
                              and results[ckey].exit_state is not None
-                             and not results[ckey].from_store}
+                             and not results[ckey].from_store
+                             and not results[ckey].from_memo}
                 payload = JobPayload(
                     procedure=name,
                     cfg=engine.cfgs[name].copy(),
@@ -263,7 +276,7 @@ class ParallelCoordinator:
 
         certified: Set[SummaryKey] = {
             key for key, result in results.items()
-            if result.from_store
+            if result.from_store or result.from_memo
             or (result.error is None and not result.incomplete
                 and not result.used_store
                 and result.exit_state is not None
@@ -284,11 +297,12 @@ class ParallelCoordinator:
             surviving: Set[SummaryKey] = set()
             for key in certified:
                 result = results[key]
-                if result.from_store:
-                    # A stored summary is keyed by its entry: it is
-                    # consumed only if demanded evaluation derives exactly
-                    # that entry, so it needs no caller/consumer evidence.
-                    # (seed_summary re-checks the live target on install.)
+                if result.from_store or result.from_memo:
+                    # A stored or memo-served summary is keyed by its
+                    # entry: it is consumed only if demanded evaluation
+                    # derives exactly that entry, so it needs no
+                    # caller/consumer evidence.  (seed_summary re-checks
+                    # the live target on install.)
                     surviving.add(key)
                     continue
                 if not result.used <= certified:
@@ -403,6 +417,7 @@ class ParallelCoordinator:
         incomplete = 0
         store_served = 0
         store_assisted = 0
+        cutoff_avoided = 0
         for key, result in sorted(results.items(), key=lambda kv: repr(kv[0])):
             durations[repr(key)] = result.duration
             cpu_durations[repr(key)] = result.cpu_seconds
@@ -412,10 +427,13 @@ class ParallelCoordinator:
                 incomplete += 1
             if result.from_store:
                 store_served += 1
+            if result.from_memo:
+                cutoff_avoided += 1
             if result.used_store:
                 store_assisted += 1
             for stat, value in result.stats.items():
                 worker_stats[stat] = worker_stats.get(stat, 0) + value
+        engine.counters["interproc_parallel_cutoff_avoided"] += cutoff_avoided
 
         self.report = {
             "speculated": len(spec["entries"]),
@@ -433,6 +451,10 @@ class ParallelCoordinator:
             # summary in place of a havoc fallback.
             "store_served": store_served,
             "store_assisted": store_assisted,
+            # Keys answered from the engine's own summary memo (survived or
+            # re-keyed across edits by early cutoff): no worker, no store
+            # round trip.
+            "cutoff_avoided": cutoff_avoided,
             "errors": errors,
             "durations": durations,
             "cpu_durations": cpu_durations,

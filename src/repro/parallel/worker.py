@@ -136,6 +136,12 @@ class JobResult:
     #: (entry-keyed seeds at underived entries are dead weight, never
     #: soundness hazards).
     from_store: bool = False
+    #: The coordinator answered this key from the engine's own summary
+    #: memo — the summary for exactly this (code digest, context, entry)
+    #: survived earlier edits (e.g. re-keyed by an early-cutoff certified
+    #: edit), so no worker ran.  Certified like a ``from_store`` result:
+    #: entry-keyed, needs no caller/consumer evidence.
+    from_memo: bool = False
     duration: float = 0.0
     #: CPU seconds of the job, immune to worker-process time-slicing: on a
     #: host with fewer cores than workers, wall ``duration`` includes time

@@ -107,6 +107,32 @@ def _encode(value: Any, out: List[bytes]) -> None:
 
 
 def _encode_object(value: Any, out: List[bytes]) -> None:
+    # Interned immutable states memoize their encoding in a ``_cbytes``
+    # slot: digests and store keys over the same (hash-consed) states are
+    # then O(1) instead of re-walking the structure every time.  Cache
+    # traffic is counted on the type's intern table (``intern_stats()``).
+    cached = getattr(value, "_cbytes", None)
+    if cached is not None:
+        table = getattr(type(value), "_intern", None)
+        if table is not None:
+            table.encode_hits += 1
+        out.append(cached)
+        return
+    cls = type(value)
+    if "_cbytes" in getattr(cls, "__slots__", ()):
+        sub: List[bytes] = []
+        _encode_object_fresh(value, sub)
+        encoded = b"".join(sub)
+        object.__setattr__(value, "_cbytes", encoded)
+        table = getattr(cls, "_intern", None)
+        if table is not None:
+            table.encode_misses += 1
+        out.append(encoded)
+        return
+    _encode_object_fresh(value, out)
+
+
+def _encode_object_fresh(value: Any, out: List[bytes]) -> None:
     cls = type(value)
     # Objects exposing a canonical() view (the shape domain's states hash
     # through frozensets of frozen heap records) encode through it.
@@ -115,6 +141,16 @@ def _encode_object(value: Any, out: List[bytes]) -> None:
         out.append(b"C")
         _encode("%s.%s" % (cls.__module__, cls.__qualname__), out)
         _encode(canonical(), out)
+        return
+    # States whose __reduce__ ships incidental non-identity fields (e.g.
+    # the octagon's monotone ``closed`` flag, which can flip on the same
+    # canonical object) expose ``__canonical_args__``: exactly the fields
+    # that define the value, so equal states always encode equally.
+    args_fn = getattr(value, "__canonical_args__", None)
+    if callable(args_fn):
+        out.append(b"R")
+        _encode("%s.%s" % (cls.__module__, cls.__qualname__), out)
+        _encode(tuple(args_fn()), out)
         return
     # Interned states and names: __reduce__ returns (constructor, args)
     # with primitive arguments — the exact cross-process identity the

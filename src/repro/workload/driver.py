@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from .generator import (MultiProcStep, MultiProcWorkload, WorkloadGenerator,
                         WorkloadStep)
@@ -86,8 +86,25 @@ def run_trial(
         if progress is not None:
             progress(last.index, elapsed)
     result.work = configuration.work_stats()
+    _fold_memo_stats(configuration, result)
     result.phases = configuration.phase_stats()
     return result
+
+
+def _fold_memo_stats(configuration: Any, result: WorkloadResult) -> None:
+    """Fold the configuration's memo-table counters into ``result.work``
+    under a stable ``memo_`` prefix (mirroring the ``summary_store_``
+    prefix), so cutoff/reuse rates read from the same artifact as every
+    other work counter."""
+    engine = getattr(configuration, "engine", None)
+    memo = getattr(engine, "memo", None)
+    if memo is None:  # interproc engines without a shared memo still
+        memo = getattr(engine, "_summary_memo", None)  # memoize summaries
+    stats = memo.stats() if memo is not None else None
+    if stats is not None:
+        for stat, value in stats.items():
+            if isinstance(value, int):
+                result.work["memo_" + stat] = value
 
 
 def run_interproc_trial(
@@ -123,6 +140,7 @@ def run_interproc_trial(
         for stat, value in store_stats.items():
             if isinstance(value, int):
                 result.work["summary_store_" + stat] = value
+    _fold_memo_stats(configuration, result)
     result.phases = configuration.phase_stats()
     return result
 
